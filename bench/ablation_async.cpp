@@ -1,0 +1,63 @@
+// Ablation: the §7 head-node in-flight ceiling, and the paper's proposed
+// fix.
+//
+// Under AsyncMode::HelperThreads (LLVM's behaviour) at most
+// `helper_threads` target regions are in flight — one blocked head thread
+// each. With graph width above that ceiling, workers starve: this is the
+// paper's diagnosis of Fig. 5's 32/64-node saturation. AsyncMode::TwoStep
+// implements the §7 operation-queue proposal and lifts the bound.
+#include "bench_util.hpp"
+
+int main() {
+  using namespace ompc;
+  using namespace ompc::taskbench;
+
+  const mpi::NetworkModel net = bench::bench_network();
+  const int helper_threads = 48;  // the paper's head-node thread count
+
+  std::printf("=== Ablation: in-flight ceiling (helper threads = %d) vs "
+              "two-step async — trivial pattern, width = 2 x nodes, 4 steps, "
+              "2 ms tasks, %d reps ===\n",
+              helper_threads, bench::repetitions());
+
+  Table table({"nodes", "width", "helper-threads (s)", "two-step (s)",
+               "ideal (s)"});
+  for (int nodes : {8, 16, 32, 64}) {
+    TaskBenchSpec spec;
+    spec.pattern = Pattern::Trivial;
+    spec.steps = 4;
+    spec.width = 2 * nodes;  // 32+ nodes exceed the 48-thread window
+    spec.iterations = 400'000;  // 2 ms
+    spec.output_bytes = 16;
+    spec.mode = KernelMode::Sleep;
+
+    std::vector<std::string> row{std::to_string(nodes),
+                                 std::to_string(spec.width)};
+    for (core::AsyncMode mode :
+         {core::AsyncMode::HelperThreads, core::AsyncMode::TwoStep}) {
+      core::ClusterOptions opts;
+      opts.num_workers = nodes;
+      opts.network = net;
+      opts.async_mode = mode;
+      opts.helper_threads = helper_threads;
+      const RunningStats s =
+          bench::timed_runs(spec, [&] { return run_ompc(spec, opts); });
+      row.push_back(bench::mean_pm_dev(s));
+    }
+    // Ideal: width/nodes tasks per worker x steps x task time.
+    row.push_back(Table::num(
+        static_cast<double>(spec.width / nodes) * spec.steps *
+        spec.task_seconds(), 3));
+    table.add_row(std::move(row));
+  }
+  table.print(std::cout);
+  std::printf("\n(expected: both columns sit near the ideal while width <= "
+              "%d, then drift as the head saturates — the helper-thread "
+              "column by the §7 in-flight ceiling, and on a single-core "
+              "host the two-step column by real contention among its "
+              "larger dispatch pool, which masks the fix's benefit; on a "
+              "multi-core head two-step keeps scaling, the paper's §7 "
+              "proposal)\n",
+              helper_threads);
+  return 0;
+}

@@ -1,0 +1,54 @@
+// Ablation: the HEFT scheduler (§4.4) vs naive placement policies.
+//
+// HEFT's communication-aware EFT placement should beat round-robin /
+// random / min-load on communication-heavy patterns (stencil, fft), and
+// tie on trivial (no edges, any balanced placement works).
+#include "bench_util.hpp"
+
+int main() {
+  using namespace ompc;
+  using namespace ompc::taskbench;
+
+  const int nodes = 8;
+  const mpi::NetworkModel net = bench::bench_network();
+  const std::vector<std::pair<std::string, core::SchedulerKind>> policies = {
+      {"HEFT", core::SchedulerKind::Heft},
+      {"round-robin", core::SchedulerKind::RoundRobin},
+      {"random", core::SchedulerKind::Random},
+      {"min-load", core::SchedulerKind::MinLoad}};
+
+  std::printf("=== Ablation: scheduler policy — 8 nodes, 16x16 graph, 2 ms "
+              "tasks, CCR 0.5 (communication-heavy), %d reps ===\n",
+              bench::repetitions());
+
+  Table table({"pattern", "HEFT", "round-robin", "random", "min-load"});
+  for (Pattern pattern :
+       {Pattern::Stencil1D, Pattern::Fft, Pattern::Tree, Pattern::Trivial}) {
+    TaskBenchSpec spec;
+    spec.pattern = pattern;
+    spec.steps = 16;
+    spec.width = 16;
+    spec.iterations = 400'000;  // 2 ms
+    spec.mode = KernelMode::Sleep;
+    spec.output_bytes = bytes_for_ccr(spec.task_seconds(), 0.5, net);
+
+    std::vector<std::string> row{pattern_name(pattern)};
+    for (const auto& [name, kind] : policies) {
+      core::ClusterOptions opts;
+      opts.num_workers = nodes;
+      opts.network = net;
+      opts.scheduler = kind;
+      const RunningStats s =
+          bench::timed_runs(spec, [&] { return run_ompc(spec, opts); });
+      row.push_back(bench::mean_pm_dev(s));
+    }
+    table.add_row(std::move(row));
+  }
+  table.print(std::cout);
+  std::printf("\n(expected: random clearly worst; HEFT at or near the best "
+              "on the communication-heavy patterns — the §4.3 replication "
+              "makes stencil forgiving of striped placements, so HEFT, "
+              "round-robin and min-load bunch together there; ties on "
+              "trivial)\n");
+  return 0;
+}

@@ -1,0 +1,44 @@
+// Ablation: Virtual Communication Interfaces (§6.1 compiled MPICH with 64
+// VCIs; §4.2 stripes events over communicators to exploit them).
+//
+// The simulated network serializes transfers per (src, dst, channel) link,
+// so more channels = more concurrent wires. Communication-heavy Task Bench
+// should speed up with channel count and saturate once concurrency is
+// exhausted.
+#include "bench_util.hpp"
+
+int main() {
+  using namespace ompc;
+  using namespace ompc::taskbench;
+
+  std::printf("=== Ablation: VCI / channel count — stencil, 8 nodes, 16x16 "
+              "graph, 2 ms tasks, CCR 0.5, %d reps ===\n",
+              bench::repetitions());
+
+  Table table({"channels(VCIs)", "time (s)"});
+  for (int channels : {1, 2, 4, 8, 16}) {
+    mpi::NetworkModel net = bench::bench_network();
+    net.channels = channels;
+
+    TaskBenchSpec spec;
+    spec.pattern = Pattern::Stencil1D;
+    spec.steps = 16;
+    spec.width = 16;
+    spec.iterations = 400'000;  // 2 ms
+    spec.mode = KernelMode::Sleep;
+    spec.output_bytes = bytes_for_ccr(spec.task_seconds(), 0.5, net);
+
+    core::ClusterOptions opts;
+    opts.num_workers = 8;
+    opts.network = net;
+    opts.vci = channels;
+
+    const RunningStats s =
+        bench::timed_runs(spec, [&] { return run_ompc(spec, opts); });
+    table.add_row({std::to_string(channels), bench::mean_pm_dev(s)});
+  }
+  table.print(std::cout);
+  std::printf("\n(expected: time falls as channels increase, then "
+              "saturates)\n");
+  return 0;
+}

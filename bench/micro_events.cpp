@@ -1,0 +1,128 @@
+// google-benchmark microbenchmarks of the OMPC event system: event
+// round-trip cost (alloc/delete/submit/execute) — the per-task constant
+// the Fig. 7(a) overhead analysis is made of.
+#include <benchmark/benchmark.h>
+
+#include "core/event_system.hpp"
+#include "core/runtime.hpp"
+
+namespace {
+
+using namespace ompc;
+using namespace ompc::core;
+
+const offload::KernelId kNop =
+    offload::KernelRegistry::instance().register_kernel(
+        "micro_nop", [](offload::KernelContext&) {});
+
+/// Runs `body(events)` on the head of a 1-worker instant-network cluster.
+void with_cluster(const std::function<void(EventSystem&)>& body) {
+  ClusterOptions opts;
+  opts.num_workers = 1;
+  opts.network = {};
+  mpi::UniverseOptions uopts;
+  uopts.ranks = opts.ranks();
+  uopts.comms = 1 + opts.vci;
+  mpi::Universe universe(uopts);
+  universe.run([&](mpi::RankContext& ctx) {
+    if (ctx.rank() == 0) {
+      EventSystem events(ctx, opts, nullptr, nullptr);
+      body(events);
+      events.shutdown_cluster();
+    } else {
+      WorkerMemory memory;
+      omp::TaskRuntime pool(1);
+      EventSystem events(ctx, opts, &memory, &pool);
+      events.wait_until_stopped();
+    }
+  });
+}
+
+void BM_EventAllocDeleteRoundTrip(benchmark::State& state) {
+  const int rounds = 200;
+  for (auto _ : state) {
+    with_cluster([&](EventSystem& es) {
+      for (int i = 0; i < rounds; ++i) {
+        ArchiveWriter w;
+        w.put(AllocHeader{64});
+        const Bytes reply = es.run(1, EventKind::Alloc, w.take());
+        ArchiveReader r(reply);
+        const auto ptr = r.get<offload::TargetPtr>();
+        ArchiveWriter d;
+        d.put(DeleteHeader{ptr});
+        es.run(1, EventKind::Delete, d.take());
+      }
+    });
+  }
+  state.SetItemsProcessed(state.iterations() * rounds * 2);
+}
+BENCHMARK(BM_EventAllocDeleteRoundTrip)->Unit(benchmark::kMillisecond);
+
+void BM_EventSubmitRetrieve(benchmark::State& state) {
+  const std::size_t bytes = static_cast<std::size_t>(state.range(0));
+  const int rounds = 100;
+  for (auto _ : state) {
+    with_cluster([&](EventSystem& es) {
+      ArchiveWriter aw;
+      aw.put(AllocHeader{bytes});
+      const Bytes reply = es.run(1, EventKind::Alloc, aw.take());
+      ArchiveReader ar(reply);
+      const auto ptr = ar.get<offload::TargetPtr>();
+      Bytes host(bytes);
+      for (int i = 0; i < rounds; ++i) {
+        ArchiveWriter sw;
+        sw.put(SubmitHeader{ptr, bytes});
+        Bytes payload = host;
+        es.run(1, EventKind::Submit, sw.take(), std::move(payload));
+        es.start_retrieve(1, ptr, host.data(), bytes)->wait();
+      }
+      ArchiveWriter dw;
+      dw.put(DeleteHeader{ptr});
+      es.run(1, EventKind::Delete, dw.take());
+    });
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          rounds * 2 * static_cast<std::int64_t>(bytes));
+}
+BENCHMARK(BM_EventSubmitRetrieve)->Arg(4096)->Arg(1 << 20)
+    ->Unit(benchmark::kMillisecond);
+
+void BM_ExecuteEventNopKernel(benchmark::State& state) {
+  const int rounds = 200;
+  for (auto _ : state) {
+    with_cluster([&](EventSystem& es) {
+      for (int i = 0; i < rounds; ++i) {
+        ExecuteHeader h;
+        h.kernel = kNop;
+        es.run(1, EventKind::Execute, h.serialize());
+      }
+    });
+  }
+  state.SetItemsProcessed(state.iterations() * rounds);
+}
+BENCHMARK(BM_ExecuteEventNopKernel)->Unit(benchmark::kMillisecond);
+
+void BM_EmptyTargetTaskEndToEnd(benchmark::State& state) {
+  // Whole-stack per-task cost: record + HEFT + dispatch + events for a
+  // dependency chain of nop targets.
+  const int tasks = 64;
+  std::uint64_t cell = 0;
+  for (auto _ : state) {
+    ClusterOptions opts;
+    opts.num_workers = 2;
+    opts.network = {};
+    launch(opts, [&](Runtime& rt) {
+      rt.enter_data(&cell, sizeof cell);
+      for (int i = 0; i < tasks; ++i) {
+        rt.target({omp::inout(&cell)}, kNop, Args().buf(&cell));
+      }
+      rt.exit_data(&cell);
+    });
+  }
+  state.SetItemsProcessed(state.iterations() * tasks);
+}
+BENCHMARK(BM_EmptyTargetTaskEndToEnd)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+BENCHMARK_MAIN();

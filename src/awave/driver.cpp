@@ -1,0 +1,128 @@
+#include "awave/driver.hpp"
+
+#include <cstring>
+
+#include "common/time.hpp"
+#include "offload/kernel_registry.hpp"
+
+namespace ompc::awave {
+
+namespace {
+
+/// buffers[0] = velocity grid (in), buffers[1] = partial image (inout).
+const offload::KernelId kShotKernel =
+    offload::KernelRegistry::instance().register_kernel(
+        "awave_shot", [](offload::KernelContext& ctx) {
+          auto r = ctx.scalars();
+          VelocityModel model;
+          model.nx = r.get<int>();
+          model.nz = r.get<int>();
+          model.dx = r.get<float>();
+          FdParams params;
+          params.dt = r.get<float>();
+          params.nt = r.get<int>();
+          params.f_peak = r.get<float>();
+          params.sponge = r.get<int>();
+          params.sponge_decay = r.get<float>();
+          params.snapshot_stride = r.get<int>();
+          Shot shot;
+          shot.sx = r.get<int>();
+          shot.sz = r.get<int>();
+          Receivers recv;
+          recv.rz = r.get<int>();
+          recv.stride = r.get<int>();
+          const auto pad_s = r.get<double>();
+
+          const std::size_t n = static_cast<std::size_t>(model.nx) *
+                                static_cast<std::size_t>(model.nz);
+          model.v.resize(n);
+          std::memcpy(model.v.data(), ctx.buffer<float>(0),
+                      n * sizeof(float));
+
+          // Second level of parallelism: FD rows over the worker's pool.
+          ParallelFor pfor = [&ctx](std::int64_t b, std::int64_t e,
+                                    std::int64_t g, const auto& body) {
+            ctx.parallel_for(b, e, g, body);
+          };
+          const Image img =
+              rtm_shot_pipeline(model, params, shot, recv, pfor);
+          std::memcpy(ctx.buffer<float>(1), img.data(),
+                      img.size() * sizeof(float));
+          if (pad_s > 0.0)
+            precise_sleep_ns(static_cast<std::int64_t>(pad_s * 1e9));
+        });
+
+core::Args shot_args(const AwaveConfig& cfg, const Shot& shot,
+                     const void* vel, const void* img) {
+  core::Args a;
+  a.buf(vel).buf(img);
+  a.scalar(cfg.model.nx)
+      .scalar(cfg.model.nz)
+      .scalar(cfg.model.dx)
+      .scalar(cfg.params.dt)
+      .scalar(cfg.params.nt)
+      .scalar(cfg.params.f_peak)
+      .scalar(cfg.params.sponge)
+      .scalar(cfg.params.sponge_decay)
+      .scalar(cfg.params.snapshot_stride)
+      .scalar(shot.sx)
+      .scalar(shot.sz)
+      .scalar(cfg.recv.rz)
+      .scalar(cfg.recv.stride)
+      .scalar(cfg.pad_task_seconds);
+  return a;
+}
+
+}  // namespace
+
+AwaveResult migrate_serial(const AwaveConfig& config) {
+  const Stopwatch timer;
+  AwaveResult out;
+  out.image.assign(config.model.v.size(), 0.0f);
+  for (const Shot& shot : spread_shots(config.model, config.shots)) {
+    const Image partial =
+        rtm_shot_pipeline(config.model, config.params, shot, config.recv);
+    stack_image(out.image, partial);
+    if (config.pad_task_seconds > 0.0)
+      precise_sleep_ns(
+          static_cast<std::int64_t>(config.pad_task_seconds * 1e9));
+  }
+  out.wall_s = timer.elapsed_s();
+  return out;
+}
+
+AwaveResult migrate_ompc(const AwaveConfig& config,
+                         const core::ClusterOptions& opts) {
+  const std::vector<Shot> shots = spread_shots(config.model, config.shots);
+  const std::size_t n = config.model.v.size();
+
+  // One partial-image host buffer per shot; the velocity model is a single
+  // read-only buffer the Data Manager replicates on demand.
+  std::vector<float> velocity = config.model.v;
+  std::vector<Image> partials(static_cast<std::size_t>(config.shots),
+                              Image(n, 0.0f));
+
+  AwaveResult out;
+  const Stopwatch timer;
+  out.stats = core::launch(opts, [&](core::Runtime& rt) {
+    rt.enter_data(velocity.data(), n * sizeof(float));
+    for (int s = 0; s < config.shots; ++s) {
+      Image& img = partials[static_cast<std::size_t>(s)];
+      rt.enter_data(img.data(), n * sizeof(float));
+      rt.target(
+          {omp::in(velocity.data()), omp::inout(img.data())}, kShotKernel,
+          shot_args(config, shots[static_cast<std::size_t>(s)],
+                    velocity.data(), img.data()),
+          /*cost_s=*/config.pad_task_seconds + 1e-3);
+      rt.exit_data(img.data());
+    }
+    rt.exit_data(velocity.data(), /*copy=*/false);
+  });
+  out.wall_s = timer.elapsed_s();
+
+  out.image.assign(n, 0.0f);
+  for (const Image& p : partials) stack_image(out.image, p);
+  return out;
+}
+
+}  // namespace ompc::awave

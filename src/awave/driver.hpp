@@ -1,0 +1,40 @@
+// Awave drivers: serial reference and the OMPC-distributed version used in
+// the paper's Fig. 7(b) ("a single shot is assigned to each worker node").
+//
+// The OMPC driver is deliberately small — it is the paper's pitch in code:
+// the velocity model is entered once and replicated on demand (read-only
+// `in` dependence, so the Data Manager keeps every copy); each shot is one
+// `target nowait` writing its own partial image; the head stacks retrieved
+// images. No explicit communication anywhere.
+#pragma once
+
+#include "awave/rtm.hpp"
+#include "core/options.hpp"
+#include "core/runtime.hpp"
+
+namespace ompc::awave {
+
+struct AwaveConfig {
+  VelocityModel model;
+  FdParams params;
+  Receivers recv;
+  int shots = 4;
+  /// Extra per-shot task time (s) for time-dilated scaling benches
+  /// (0 for correctness tests).
+  double pad_task_seconds = 0.0;
+};
+
+struct AwaveResult {
+  Image image;
+  double wall_s = 0.0;
+  core::RuntimeStats stats;  ///< populated by the distributed driver
+};
+
+/// Migrates all shots in one thread (validation oracle).
+AwaveResult migrate_serial(const AwaveConfig& config);
+
+/// Migrates with one target task per shot over the OMPC cluster.
+AwaveResult migrate_ompc(const AwaveConfig& config,
+                         const core::ClusterOptions& opts);
+
+}  // namespace ompc::awave

@@ -1,0 +1,160 @@
+#include "awave/fd.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/check.hpp"
+
+namespace ompc::awave {
+
+namespace {
+// 8th-order central second-derivative coefficients (c0 applied once for
+// each axis).
+constexpr float kC0 = -205.0f / 72.0f;
+constexpr float kC[4] = {8.0f / 5.0f, -1.0f / 5.0f, 8.0f / 315.0f,
+                         -1.0f / 560.0f};
+constexpr int kHalo = 4;
+
+// Sum |coefficients| for the CFL bound of the 8th-order Laplacian.
+float coeff_sum_abs() {
+  float s = std::abs(kC0) * 2.0f;  // both axes contribute c0
+  for (float c : kC) s += 4.0f * std::abs(c);
+  return s;
+}
+}  // namespace
+
+float stable_dt(const VelocityModel& m, float safety) {
+  // dt <= dx / (vmax * sqrt(sum|c|)) for the explicit 2nd-order scheme.
+  return safety * m.dx / (m.vmax() * std::sqrt(coeff_sum_abs()));
+}
+
+Propagator::Propagator(const VelocityModel& model, const FdParams& params,
+                       ParallelFor pfor)
+    : model_(model), params_(params), pfor_(std::move(pfor)) {
+  dt_ = params_.dt > 0.0f ? params_.dt : stable_dt(model);
+  OMPC_CHECK_MSG(dt_ <= stable_dt(model, 1.0f),
+                 "dt " << dt_ << " violates the CFL stability bound");
+  const std::size_t n = model.v.size();
+  a_.assign(n, 0.0f);
+  b_.assign(n, 0.0f);
+  cur_ = &a_;
+  prev_ = &b_;
+
+  vdt2_.resize(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    const float r = model.v[i] * dt_ / model.dx;
+    vdt2_[i] = r * r;
+  }
+
+  // Exponential sponge taper on the side and bottom edges. The top stays
+  // free (sources and receivers live just below the surface, as in a
+  // marine acquisition; a top sponge would annihilate the direct wave).
+  sponge_.assign(n, 1.0f);
+  const int nx = model.nx;
+  const int nz = model.nz;
+  const int sw = params_.sponge;
+  for (int z = 0; z < nz; ++z) {
+    for (int x = 0; x < nx; ++x) {
+      const int d = std::min({x, nx - 1 - x, nz - 1 - z});
+      if (d < sw) {
+        const float u = static_cast<float>(sw - d);
+        sponge_[static_cast<std::size_t>(z) * nx + x] =
+            std::exp(-params_.sponge_decay * u * u);
+      }
+    }
+  }
+}
+
+void Propagator::reset() {
+  std::fill(a_.begin(), a_.end(), 0.0f);
+  std::fill(b_.begin(), b_.end(), 0.0f);
+  cur_ = &a_;
+  prev_ = &b_;
+}
+
+void Propagator::apply_sponge(Field& f) const {
+  for (std::size_t i = 0; i < f.size(); ++i) f[i] *= sponge_[i];
+}
+
+void Propagator::step(int sx, int sz, float source_amp) {
+  const SourceSample s{sx, sz, source_amp};
+  step_sources(std::span<const SourceSample>(&s, 1));
+}
+
+void Propagator::step_sources(std::span<const SourceSample> sources) {
+  const int nx = model_.nx;
+  const int nz = model_.nz;
+  Field& next = *prev_;  // overwritten in place: p(t+dt) = 2p - p(t-dt) + ...
+  const Field& cur = *cur_;
+
+  auto row_range = [&](std::int64_t z0, std::int64_t z1) {
+    for (std::int64_t z = z0; z < z1; ++z) {
+      const std::size_t row = static_cast<std::size_t>(z) * nx;
+      for (int x = kHalo; x < nx - kHalo; ++x) {
+        const std::size_t i = row + static_cast<std::size_t>(x);
+        float lap = 2.0f * kC0 * cur[i];
+        for (int k = 1; k <= 4; ++k) {
+          lap += kC[k - 1] *
+                 (cur[i - static_cast<std::size_t>(k)] +
+                  cur[i + static_cast<std::size_t>(k)] +
+                  cur[i - static_cast<std::size_t>(k) * nx] +
+                  cur[i + static_cast<std::size_t>(k) * nx]);
+        }
+        next[i] = 2.0f * cur[i] - next[i] + vdt2_[i] * lap;
+      }
+    }
+  };
+
+  // Second level of parallelism: chunk interior rows over the node's local
+  // pool when one was provided (paper §3.1's `parallel for` inside a task).
+  if (pfor_) {
+    pfor_(kHalo, nz - kHalo, 16, row_range);
+  } else {
+    row_range(kHalo, nz - kHalo);
+  }
+
+  // Source injection scaled like a pressure source.
+  for (const SourceSample& s : sources) {
+    const std::size_t si =
+        static_cast<std::size_t>(s.z) * nx + static_cast<std::size_t>(s.x);
+    next[si] += s.amp * vdt2_[si];
+  }
+
+  apply_sponge(next);
+  std::swap(cur_, prev_);
+  apply_sponge(*prev_);
+}
+
+Seismogram model_shot(const VelocityModel& model, const FdParams& params,
+                      const Shot& shot, const Receivers& recv,
+                      std::vector<Field>* snapshots, ParallelFor pfor) {
+  Propagator prop(model, params, std::move(pfor));
+  Seismogram seis;
+  seis.nt = params.nt;
+  seis.nrec = recv.count(model.nx);
+  seis.data.assign(
+      static_cast<std::size_t>(seis.nt) * static_cast<std::size_t>(seis.nrec),
+      0.0f);
+
+  if (snapshots != nullptr) {
+    snapshots->clear();
+    snapshots->reserve(static_cast<std::size_t>(
+        params.nt / std::max(1, params.snapshot_stride) + 1));
+  }
+
+  for (int t = 0; t < params.nt; ++t) {
+    const float amp = ricker(static_cast<float>(t) * prop.dt(), params.f_peak);
+    prop.step(shot.sx, shot.sz, amp);
+    const Field& p = prop.current();
+    for (int r = 0; r < seis.nrec; ++r) {
+      const int x = std::min(r * recv.stride, model.nx - 1);
+      seis.at(t, r) =
+          p[static_cast<std::size_t>(recv.rz) * model.nx + x];
+    }
+    if (snapshots != nullptr && t % std::max(1, params.snapshot_stride) == 0)
+      snapshots->push_back(p);
+  }
+  return seis;
+}
+
+}  // namespace ompc::awave

@@ -1,0 +1,119 @@
+// 2D acoustic finite-difference engine: 2nd-order time, 8th-order space,
+// sponge absorbing boundaries — the numerical core of Awave (paper §6.2:
+// "numerically solving the acoustic wave equation using the finite
+// differences method").
+#pragma once
+
+#include <functional>
+#include <span>
+#include <vector>
+
+#include "awave/model.hpp"
+#include "awave/wavelet.hpp"
+
+namespace ompc::awave {
+
+/// Wavefield: same layout as VelocityModel::v (row-major, z-major rows).
+using Field = std::vector<float>;
+
+/// Optional chunked-loop executor for the second level of parallelism
+/// inside a worker node (wired to KernelContext::parallel_for when running
+/// under OMPC; serial by default).
+using ParallelFor = std::function<void(
+    std::int64_t, std::int64_t, std::int64_t,
+    const std::function<void(std::int64_t, std::int64_t)>&)>;
+
+struct FdParams {
+  float dt = 0.0f;        ///< time step (s); 0 = derive from stability bound
+  int nt = 500;           ///< time steps
+  float f_peak = 15.0f;   ///< Ricker peak frequency (Hz)
+  int sponge = 20;        ///< absorbing boundary width (cells)
+  float sponge_decay = 0.0035f;
+  int snapshot_stride = 4;  ///< RTM stores every k-th forward field
+};
+
+/// Largest stable dt for the model under the 8th-order CFL bound,
+/// multiplied by `safety`.
+float stable_dt(const VelocityModel& m, float safety = 0.7f);
+
+/// One shot's acquisition geometry: a surface source and a line of
+/// receivers at depth `rz`.
+struct Shot {
+  int sx = 0;  ///< source x (grid index)
+  int sz = 6;  ///< source z (below the 4-cell FD halo)
+};
+
+/// Receiver line: every `stride`-th column at depth rz.
+struct Receivers {
+  int rz = 6;  ///< below the 4-cell FD halo
+  int stride = 1;
+  int count(int nx) const { return (nx + stride - 1) / stride; }
+};
+
+/// nt x nrec recorded pressure traces.
+struct Seismogram {
+  int nt = 0;
+  int nrec = 0;
+  std::vector<float> data;  ///< data[t * nrec + r]
+
+  float& at(int t, int r) {
+    return data[static_cast<std::size_t>(t) * static_cast<std::size_t>(nrec) +
+                static_cast<std::size_t>(r)];
+  }
+  float at(int t, int r) const {
+    return data[static_cast<std::size_t>(t) * static_cast<std::size_t>(nrec) +
+                static_cast<std::size_t>(r)];
+  }
+};
+
+/// One injected pressure sample (multi-source steps drive the adjoint
+/// propagation of RTM, where every receiver re-emits its trace).
+struct SourceSample {
+  int x = 0;
+  int z = 0;
+  float amp = 0.0f;
+};
+
+/// Time-stepping engine over a velocity model. Owns the ping-pong pressure
+/// fields; step() advances one dt with an injected source sample.
+class Propagator {
+ public:
+  Propagator(const VelocityModel& model, const FdParams& params,
+             ParallelFor pfor = {});
+
+  /// Advances one step; `source_amp` is added at (sx, sz).
+  void step(int sx, int sz, float source_amp);
+
+  /// Advances one step injecting several samples (adjoint propagation).
+  void step_sources(std::span<const SourceSample> sources);
+
+  const Field& current() const noexcept { return *cur_; }
+  Field& current() noexcept { return *cur_; }
+
+  void reset();
+
+  float dt() const noexcept { return dt_; }
+
+ private:
+  void apply_sponge(Field& f) const;
+
+  const VelocityModel& model_;
+  FdParams params_;
+  ParallelFor pfor_;
+  float dt_;
+  Field a_, b_;
+  Field* cur_;   ///< p(t)
+  Field* prev_;  ///< p(t-dt); becomes p(t+dt) after step
+  std::vector<float> vdt2_;    ///< (v*dt/dx)^2 per cell
+  std::vector<float> sponge_;  ///< per-cell damping factor
+};
+
+/// Forward-models a shot: propagates the source and records traces at the
+/// receivers. When `snapshots` is non-null, stores every
+/// params.snapshot_stride-th wavefield (for the RTM imaging condition).
+Seismogram model_shot(const VelocityModel& model, const FdParams& params,
+                      const Shot& shot, const Receivers& recv,
+                      std::vector<Field>* snapshots = nullptr,
+                      ParallelFor pfor = {});
+
+}  // namespace ompc::awave

@@ -1,0 +1,97 @@
+#include "awave/model.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace ompc::awave {
+
+float VelocityModel::vmax() const {
+  return *std::max_element(v.begin(), v.end());
+}
+float VelocityModel::vmin() const {
+  return *std::min_element(v.begin(), v.end());
+}
+
+VelocityModel layered_model(int nx, int nz, float dx,
+                            const std::vector<int>& interfaces,
+                            const std::vector<float>& velocities) {
+  OMPC_CHECK(velocities.size() == interfaces.size() + 1);
+  VelocityModel m(nx, nz, dx, velocities.front());
+  for (int z = 0; z < nz; ++z) {
+    std::size_t layer = 0;
+    while (layer < interfaces.size() && z >= interfaces[layer]) ++layer;
+    for (int x = 0; x < nx; ++x) m.at(x, z) = velocities[layer];
+  }
+  return m;
+}
+
+VelocityModel sigsbee_like(int nx, int nz, float dx) {
+  VelocityModel m(nx, nz, dx);
+  const int water_bottom = nz / 8;
+  for (int z = 0; z < nz; ++z) {
+    for (int x = 0; x < nx; ++x) {
+      if (z < water_bottom) {
+        m.at(x, z) = 1492.0f;  // water
+      } else {
+        // Smooth compaction gradient beneath the water bottom.
+        const float depth_frac =
+            static_cast<float>(z - water_bottom) /
+            static_cast<float>(nz - water_bottom);
+        m.at(x, z) = 1650.0f + 1800.0f * depth_frac;
+      }
+    }
+  }
+  // Salt body: an irregular lens in the middle of the model. Boundary
+  // modulated by sines so reflections are not axis-aligned (Sigsbee's salt
+  // has a rough top).
+  const float cx = static_cast<float>(nx) * 0.5f;
+  const float cz = static_cast<float>(nz) * 0.55f;
+  const float rx = static_cast<float>(nx) * 0.28f;
+  const float rz = static_cast<float>(nz) * 0.22f;
+  for (int z = 0; z < nz; ++z) {
+    for (int x = 0; x < nx; ++x) {
+      const float ux = (static_cast<float>(x) - cx) / rx;
+      const float uz = (static_cast<float>(z) - cz) / rz;
+      const float wobble =
+          0.15f * std::sin(6.0f * static_cast<float>(x) /
+                           static_cast<float>(nx) * 6.2831853f) +
+          0.1f * std::sin(11.0f * static_cast<float>(z) /
+                          static_cast<float>(nz) * 6.2831853f);
+      if (ux * ux + uz * uz < 1.0f + wobble) m.at(x, z) = 4480.0f;  // salt
+    }
+  }
+  return m;
+}
+
+VelocityModel marmousi_like(int nx, int nz, float dx) {
+  VelocityModel m(nx, nz, dx);
+  const int nlayers = 24;
+  for (int z = 0; z < nz; ++z) {
+    for (int x = 0; x < nx; ++x) {
+      const float xf = static_cast<float>(x) / static_cast<float>(nx);
+      // Dipping structure: layer index shifts with x (steep dips) and a
+      // central growth fault offsets the right-hand block downwards.
+      float zf = static_cast<float>(z) / static_cast<float>(nz);
+      zf -= 0.25f * xf;                      // regional dip
+      if (xf > 0.5f) zf -= 0.08f;            // fault throw
+      zf += 0.04f * std::sin(8.0f * xf * 6.2831853f);  // folding
+      int layer = static_cast<int>(std::floor(zf * nlayers));
+      layer = std::clamp(layer, 0, nlayers - 1);
+      // Alternating fast/slow thin beds over a compaction trend, with
+      // lateral velocity variation inside each layer.
+      const float trend =
+          1500.0f + 2600.0f * static_cast<float>(layer) /
+                        static_cast<float>(nlayers - 1);
+      const float alternation = (layer % 2 == 0) ? 140.0f : -120.0f;
+      const float lateral = 120.0f * std::sin((xf + 0.13f * layer) *
+                                              6.2831853f * 1.7f);
+      m.at(x, z) = trend + alternation + lateral;
+    }
+  }
+  // Water layer on top (Marmousi2 extends the original with one).
+  for (int z = 0; z < nz / 12; ++z)
+    for (int x = 0; x < nx; ++x) m.at(x, z) = 1500.0f;
+  return m;
+}
+
+}  // namespace ompc::awave

@@ -1,0 +1,74 @@
+#include "awave/rtm.hpp"
+
+#include <cmath>
+
+#include "common/check.hpp"
+
+namespace ompc::awave {
+
+Image rtm_shot(const VelocityModel& model, const FdParams& params,
+               const Shot& shot, const Receivers& recv,
+               const Seismogram& observed, ParallelFor pfor) {
+  OMPC_CHECK(observed.nt == params.nt);
+  const int stride = std::max(1, params.snapshot_stride);
+
+  // (1) forward wavefield with snapshots.
+  std::vector<Field> snaps;
+  (void)model_shot(model, params, shot, recv, &snaps, pfor);
+
+  // (2)+(3) adjoint propagation with on-the-fly imaging condition.
+  Propagator adj(model, params, pfor);
+  Image img(model.v.size(), 0.0f);
+  std::vector<SourceSample> sources(
+      static_cast<std::size_t>(observed.nrec));
+  for (int t = params.nt - 1; t >= 0; --t) {
+    for (int r = 0; r < observed.nrec; ++r) {
+      sources[static_cast<std::size_t>(r)] = SourceSample{
+          std::min(r * recv.stride, model.nx - 1), recv.rz, observed.at(t, r)};
+    }
+    adj.step_sources(sources);
+    if (t % stride == 0) {
+      const std::size_t snap_idx = static_cast<std::size_t>(t / stride);
+      if (snap_idx < snaps.size()) {
+        const Field& fwd = snaps[snap_idx];
+        const Field& bwd = adj.current();
+        for (std::size_t i = 0; i < img.size(); ++i)
+          img[i] += fwd[i] * bwd[i];
+      }
+    }
+  }
+  return img;
+}
+
+Image rtm_shot_pipeline(const VelocityModel& model, const FdParams& params,
+                        const Shot& shot, const Receivers& recv,
+                        ParallelFor pfor) {
+  const Seismogram observed =
+      model_shot(model, params, shot, recv, nullptr, pfor);
+  return rtm_shot(model, params, shot, recv, observed, pfor);
+}
+
+void stack_image(Image& total, const Image& partial) {
+  OMPC_CHECK(total.size() == partial.size());
+  for (std::size_t i = 0; i < total.size(); ++i) total[i] += partial[i];
+}
+
+std::vector<Shot> spread_shots(const VelocityModel& model, int count, int sz) {
+  OMPC_CHECK(count >= 1);
+  std::vector<Shot> shots;
+  shots.reserve(static_cast<std::size_t>(count));
+  for (int s = 0; s < count; ++s) {
+    const int sx = static_cast<int>(
+        (static_cast<double>(s) + 0.5) / count * model.nx);
+    shots.push_back(Shot{std::clamp(sx, 0, model.nx - 1), sz});
+  }
+  return shots;
+}
+
+double image_rms(const Image& img) {
+  double acc = 0.0;
+  for (float v : img) acc += static_cast<double>(v) * v;
+  return std::sqrt(acc / static_cast<double>(img.size()));
+}
+
+}  // namespace ompc::awave

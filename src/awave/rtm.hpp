@@ -1,0 +1,41 @@
+// Reverse Time Migration (Baysal et al. 1983): the imaging algorithm
+// behind Awave (paper §6.2).
+//
+// Per shot: (1) forward-propagate the source wavefield, storing decimated
+// snapshots; (2) time-reverse the recorded traces and propagate them as
+// sources from the receiver positions (the adjoint field); (3) correlate
+// the two fields at matching times — reflectors appear where down-going
+// and up-going energy coincide. Shots are independent; their images stack.
+#pragma once
+
+#include "awave/fd.hpp"
+
+namespace ompc::awave {
+
+/// Migrated image, same layout as the velocity grid.
+using Image = std::vector<float>;
+
+/// Migrates one shot (forward + adjoint + cross-correlation). The
+/// `observed` seismogram is what the field crew recorded; in this
+/// synthetic pipeline it comes from model_shot() on the same model.
+Image rtm_shot(const VelocityModel& model, const FdParams& params,
+               const Shot& shot, const Receivers& recv,
+               const Seismogram& observed, ParallelFor pfor = {});
+
+/// Full single-shot pipeline used by the experiments: forward-model the
+/// "observed" data, then migrate it. One call == one Awave task.
+Image rtm_shot_pipeline(const VelocityModel& model, const FdParams& params,
+                        const Shot& shot, const Receivers& recv,
+                        ParallelFor pfor = {});
+
+/// Stacks `partial` into `total` (element-wise accumulate).
+void stack_image(Image& total, const Image& partial);
+
+/// Evenly spread `count` surface shots across the model width.
+std::vector<Shot> spread_shots(const VelocityModel& model, int count,
+                               int sz = 6);
+
+/// RMS amplitude of an image (test metric).
+double image_rms(const Image& img);
+
+}  // namespace ompc::awave

@@ -1,0 +1,19 @@
+// Source signature: the Ricker wavelet standard in synthetic seismic
+// modeling (second derivative of a Gaussian, parameterized by peak
+// frequency).
+#pragma once
+
+#include <cmath>
+
+namespace ompc::awave {
+
+/// Ricker wavelet sample at time `t` (s) for peak frequency `f` (Hz),
+/// delayed so the wavelet starts near zero amplitude at t = 0.
+inline float ricker(float t, float f) {
+  const float delay = 1.2f / f;
+  const float arg = static_cast<float>(M_PI) * f * (t - delay);
+  const float a2 = arg * arg;
+  return (1.0f - 2.0f * a2) * std::exp(-a2);
+}
+
+}  // namespace ompc::awave

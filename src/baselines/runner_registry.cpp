@@ -1,0 +1,23 @@
+// Name -> runner dispatch used by the CLI example and the figure benches.
+#include "common/check.hpp"
+#include "taskbench/runners.hpp"
+
+namespace ompc::taskbench {
+
+RunResult run_named(const std::string& runtime, const TaskBenchSpec& spec,
+                    int nodes, const mpi::NetworkModel& net) {
+  if (runtime == "ompc") {
+    core::ClusterOptions opts;
+    opts.num_workers = nodes;
+    opts.network = net;
+    return run_ompc(spec, opts);
+  }
+  if (runtime == "mpi") return run_mpisync(spec, nodes, net);
+  if (runtime == "starpu") return run_starpulike(spec, nodes, net);
+  if (runtime == "charm") return run_charmlike(spec, nodes, net);
+  if (runtime == "seq") return run_sequential(spec);
+  OMPC_CHECK_MSG(false, "unknown runtime '" << runtime
+                                            << "' (ompc|mpi|starpu|charm|seq)");
+}
+
+}  // namespace ompc::taskbench

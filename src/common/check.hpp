@@ -1,0 +1,52 @@
+// Invariant checking macros used across the OMPC runtime.
+//
+// OMPC_CHECK is active in all build types: runtime invariants in a
+// message-passing runtime are cheap relative to communication and failing
+// fast with a location beats corrupting a distributed state machine.
+// OMPC_ASSERT compiles out in NDEBUG builds and is meant for hot paths.
+#pragma once
+
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+namespace ompc {
+
+/// Thrown when a runtime invariant is violated (OMPC_CHECK failure).
+class CheckError : public std::logic_error {
+ public:
+  using std::logic_error::logic_error;
+};
+
+namespace detail {
+[[noreturn]] inline void check_failed(const char* expr, const char* file,
+                                      int line, const std::string& msg) {
+  std::ostringstream os;
+  os << "OMPC_CHECK failed: (" << expr << ") at " << file << ':' << line;
+  if (!msg.empty()) os << " — " << msg;
+  throw CheckError(os.str());
+}
+}  // namespace detail
+
+}  // namespace ompc
+
+#define OMPC_CHECK(expr)                                                \
+  do {                                                                  \
+    if (!(expr))                                                        \
+      ::ompc::detail::check_failed(#expr, __FILE__, __LINE__, "");      \
+  } while (0)
+
+#define OMPC_CHECK_MSG(expr, msg)                                       \
+  do {                                                                  \
+    if (!(expr)) {                                                      \
+      std::ostringstream os_;                                           \
+      os_ << msg;                                                       \
+      ::ompc::detail::check_failed(#expr, __FILE__, __LINE__, os_.str()); \
+    }                                                                   \
+  } while (0)
+
+#ifdef NDEBUG
+#define OMPC_ASSERT(expr) ((void)0)
+#else
+#define OMPC_ASSERT(expr) OMPC_CHECK(expr)
+#endif

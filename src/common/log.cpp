@@ -1,0 +1,59 @@
+#include "common/log.hpp"
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <mutex>
+
+namespace ompc::log {
+
+namespace {
+
+Level parse_level(const char* s) {
+  if (s == nullptr) return Level::Off;
+  if (std::strcmp(s, "error") == 0) return Level::Error;
+  if (std::strcmp(s, "warn") == 0) return Level::Warn;
+  if (std::strcmp(s, "info") == 0) return Level::Info;
+  if (std::strcmp(s, "debug") == 0) return Level::Debug;
+  if (std::strcmp(s, "trace") == 0) return Level::Trace;
+  return Level::Off;
+}
+
+std::atomic<Level> g_level{parse_level(std::getenv("OMPC_LOG_LEVEL"))};
+std::mutex g_emit_mutex;
+
+const char* level_name(Level lvl) {
+  switch (lvl) {
+    case Level::Error: return "E";
+    case Level::Warn: return "W";
+    case Level::Info: return "I";
+    case Level::Debug: return "D";
+    case Level::Trace: return "T";
+    default: return "?";
+  }
+}
+
+thread_local std::string t_label = "-";
+
+}  // namespace
+
+Level level() noexcept { return g_level.load(std::memory_order_relaxed); }
+void set_level(Level lvl) noexcept {
+  g_level.store(lvl, std::memory_order_relaxed);
+}
+
+void set_thread_label(std::string label) { t_label = std::move(label); }
+const std::string& thread_label() noexcept { return t_label; }
+
+namespace detail {
+void emit(Level lvl, const std::string& text) {
+  // One fprintf under a mutex keeps lines atomic without a background
+  // logging thread; logging is off by default so this never contends in
+  // benchmark runs.
+  std::lock_guard<std::mutex> lock(g_emit_mutex);
+  std::fprintf(stderr, "[%s][%s] %s\n", level_name(lvl), t_label.c_str(),
+               text.c_str());
+}
+}  // namespace detail
+
+}  // namespace ompc::log

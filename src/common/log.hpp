@@ -1,0 +1,48 @@
+// Thread-safe leveled logger with a per-thread rank label.
+//
+// The OMPC runtime is a distributed system in one process: log lines
+// interleave from the head node, worker gate threads and event handlers.
+// Each line carries [level][rank:thread-role] so traces stay readable.
+// The level is read from OMPC_LOG_LEVEL (error|warn|info|debug|trace) once
+// at startup and may be overridden programmatically for tests.
+#pragma once
+
+#include <atomic>
+#include <sstream>
+#include <string>
+
+namespace ompc::log {
+
+enum class Level : int { Off = 0, Error, Warn, Info, Debug, Trace };
+
+/// Global log level. Defaults from the OMPC_LOG_LEVEL environment variable
+/// (off when unset) so production runs pay only an atomic load per call site.
+Level level() noexcept;
+void set_level(Level lvl) noexcept;
+
+/// Labels the calling thread in subsequent log lines, e.g. "w3/gate".
+/// Rank threads set this when they start; plain threads show as "-".
+void set_thread_label(std::string label);
+const std::string& thread_label() noexcept;
+
+namespace detail {
+void emit(Level lvl, const std::string& text);
+}
+
+}  // namespace ompc::log
+
+#define OMPC_LOG_AT(lvl, ...)                                      \
+  do {                                                             \
+    if (static_cast<int>(::ompc::log::level()) >=                  \
+        static_cast<int>(lvl)) {                                   \
+      std::ostringstream os_;                                      \
+      os_ << __VA_ARGS__;                                          \
+      ::ompc::log::detail::emit(lvl, os_.str());                   \
+    }                                                              \
+  } while (0)
+
+#define OMPC_LOG_ERROR(...) OMPC_LOG_AT(::ompc::log::Level::Error, __VA_ARGS__)
+#define OMPC_LOG_WARN(...) OMPC_LOG_AT(::ompc::log::Level::Warn, __VA_ARGS__)
+#define OMPC_LOG_INFO(...) OMPC_LOG_AT(::ompc::log::Level::Info, __VA_ARGS__)
+#define OMPC_LOG_DEBUG(...) OMPC_LOG_AT(::ompc::log::Level::Debug, __VA_ARGS__)
+#define OMPC_LOG_TRACE(...) OMPC_LOG_AT(::ompc::log::Level::Trace, __VA_ARGS__)

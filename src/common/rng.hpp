@@ -1,0 +1,59 @@
+// Deterministic, allocation-free randomness and hashing.
+//
+// Benchmarks and Task Bench validation need reproducible streams that are
+// identical across runtimes (the checksum of a task's output must not depend
+// on which runner produced it), so everything here is seed-driven and
+// stateless across modules.
+#pragma once
+
+#include <cstdint>
+
+namespace ompc {
+
+/// xorshift64* — tiny, fast, good-enough PRNG for workload generation.
+class XorShift64 {
+ public:
+  explicit XorShift64(std::uint64_t seed = 0x9e3779b97f4a7c15ull)
+      : state_(seed == 0 ? 0x9e3779b97f4a7c15ull : seed) {}
+
+  std::uint64_t next() noexcept {
+    std::uint64_t x = state_;
+    x ^= x >> 12;
+    x ^= x << 25;
+    x ^= x >> 27;
+    state_ = x;
+    return x * 0x2545f4914f6cdd1dull;
+  }
+
+  /// Uniform in [0, bound).
+  std::uint64_t next_below(std::uint64_t bound) noexcept {
+    return bound == 0 ? 0 : next() % bound;
+  }
+
+  /// Uniform double in [0, 1).
+  double next_double() noexcept {
+    return static_cast<double>(next() >> 11) * 0x1.0p-53;
+  }
+
+ private:
+  std::uint64_t state_;
+};
+
+/// FNV-1a 64-bit — used for Task Bench output checksums.
+inline std::uint64_t fnv1a(const void* data, std::size_t n,
+                           std::uint64_t seed = 0xcbf29ce484222325ull) {
+  const auto* p = static_cast<const unsigned char*>(data);
+  std::uint64_t h = seed;
+  for (std::size_t i = 0; i < n; ++i) {
+    h ^= p[i];
+    h *= 0x100000001b3ull;
+  }
+  return h;
+}
+
+/// Order-independent combiner for merging per-task checksums.
+inline std::uint64_t hash_mix(std::uint64_t a, std::uint64_t b) {
+  return a + (b * 0x9e3779b97f4a7c15ull);
+}
+
+}  // namespace ompc

@@ -1,0 +1,4 @@
+#include "common/serialize.hpp"
+
+// Header-only in practice; this TU anchors the module in the archive and
+// gives the templates one home for explicit instantiation if ever needed.

@@ -1,0 +1,3 @@
+#include "common/stats.hpp"
+
+// Header-only; TU anchors the archive member.

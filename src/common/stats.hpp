@@ -1,0 +1,77 @@
+// Streaming statistics used by the benchmark harness (mean/stddev over
+// repeated runs, matching the paper's "average and dispersion statistics
+// from multiple executions" collected by OMPC Bench).
+#pragma once
+
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
+#include <limits>
+#include <vector>
+
+namespace ompc {
+
+/// Welford accumulator: numerically stable mean/variance, plus min/max.
+class RunningStats {
+ public:
+  void add(double x) noexcept {
+    ++n_;
+    const double delta = x - mean_;
+    mean_ += delta / static_cast<double>(n_);
+    m2_ += delta * (x - mean_);
+    min_ = std::min(min_, x);
+    max_ = std::max(max_, x);
+  }
+
+  std::int64_t count() const noexcept { return n_; }
+  double mean() const noexcept { return n_ > 0 ? mean_ : 0.0; }
+  double variance() const noexcept {
+    return n_ > 1 ? m2_ / static_cast<double>(n_ - 1) : 0.0;
+  }
+  double stddev() const noexcept { return std::sqrt(variance()); }
+  double min() const noexcept {
+    return n_ > 0 ? min_ : std::numeric_limits<double>::quiet_NaN();
+  }
+  double max() const noexcept {
+    return n_ > 0 ? max_ : std::numeric_limits<double>::quiet_NaN();
+  }
+
+ private:
+  std::int64_t n_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = std::numeric_limits<double>::infinity();
+  double max_ = -std::numeric_limits<double>::infinity();
+};
+
+/// Median/percentile helper over a stored sample (small run counts only).
+class SampleStats {
+ public:
+  void add(double x) { samples_.push_back(x); }
+
+  std::size_t count() const noexcept { return samples_.size(); }
+
+  double percentile(double p) const {
+    if (samples_.empty()) return std::numeric_limits<double>::quiet_NaN();
+    std::vector<double> s = samples_;
+    std::sort(s.begin(), s.end());
+    const double idx = p * static_cast<double>(s.size() - 1);
+    const auto lo = static_cast<std::size_t>(idx);
+    const auto hi = std::min(lo + 1, s.size() - 1);
+    const double frac = idx - static_cast<double>(lo);
+    return s[lo] * (1.0 - frac) + s[hi] * frac;
+  }
+
+  double median() const { return percentile(0.5); }
+
+  RunningStats summary() const {
+    RunningStats r;
+    for (double x : samples_) r.add(x);
+    return r;
+  }
+
+ private:
+  std::vector<double> samples_;
+};
+
+}  // namespace ompc

@@ -1,0 +1,25 @@
+#include "common/time.hpp"
+
+#include <thread>
+
+namespace ompc {
+
+void precise_sleep_ns(std::int64_t ns) {
+  if (ns <= 0) return;
+  const TimePoint deadline = Clock::now() + std::chrono::nanoseconds(ns);
+
+  // Leave a short spin tail to compensate OS wakeup granularity. It must
+  // stay small: on the single-core simulated cluster many ranks sleep
+  // concurrently and every spinning tail steals CPU from the runtime
+  // threads that are being measured.
+  constexpr std::int64_t kSpinTailNs = 30'000;
+  if (ns > kSpinTailNs) {
+    std::this_thread::sleep_for(std::chrono::nanoseconds(ns - kSpinTailNs));
+  }
+  while (Clock::now() < deadline) {
+    // Busy tail. On the 1-core target this is short enough (≤100 µs) not to
+    // starve the runtime threads.
+  }
+}
+
+}  // namespace ompc

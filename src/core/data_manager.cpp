@@ -1,0 +1,304 @@
+#include "core/data_manager.hpp"
+
+#include <algorithm>
+#include <cstring>
+#include <thread>
+
+#include "common/check.hpp"
+#include "common/log.hpp"
+
+namespace ompc::core {
+
+void DataManager::register_buffer(void* host, std::size_t size) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto it = buffers_.find(host);
+  OMPC_CHECK_MSG(it == buffers_.end(),
+                 "buffer " << host << " is already mapped (exit it first)");
+  auto b = std::make_unique<BufferState>();
+  b->host = host;
+  b->size = size;
+  buffers_.emplace(host, std::move(b));
+}
+
+DataManager::BufferState* DataManager::find(const void* host) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto it = buffers_.find(host);
+  return it == buffers_.end() ? nullptr : it->second.get();
+}
+
+bool DataManager::is_registered(const void* host) const {
+  return find(host) != nullptr;
+}
+
+std::size_t DataManager::buffer_size(const void* host) const {
+  const BufferState* b = find(host);
+  return b == nullptr ? 0 : b->size;
+}
+
+std::size_t DataManager::num_buffers() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return buffers_.size();
+}
+
+offload::TargetPtr DataManager::alloc_on(mpi::Rank worker, BufferState& b) {
+  {
+    std::lock_guard<std::mutex> lock(b.lock);
+    auto it = b.addr.find(worker);
+    if (it != b.addr.end()) return it->second;
+  }
+  ArchiveWriter w;
+  w.put(AllocHeader{b.size});
+  const Bytes reply = events_.run(worker, EventKind::Alloc, w.take());
+  ArchiveReader r(reply);
+  const auto ptr = r.get<offload::TargetPtr>();
+  stats_.allocs.fetch_add(1, std::memory_order_relaxed);
+  std::lock_guard<std::mutex> lock(b.lock);
+  // ensure_on's Transferring marker makes per-worker allocation single-
+  // flight, so no entry can have appeared meanwhile.
+  b.addr.emplace(worker, ptr);
+  return ptr;
+}
+
+void DataManager::delete_on_locked(mpi::Rank worker, BufferState& b,
+                                   std::unique_lock<std::mutex>& lk) {
+  auto it = b.addr.find(worker);
+  if (it == b.addr.end()) return;
+  const offload::TargetPtr ptr = it->second;
+  b.addr.erase(it);
+  b.state.erase(worker);
+  // The event blocks; release the buffer lock while it runs.
+  lk.unlock();
+  ArchiveWriter w;
+  w.put(DeleteHeader{ptr});
+  events_.run(worker, EventKind::Delete, w.take());
+  stats_.deletes.fetch_add(1, std::memory_order_relaxed);
+  lk.lock();
+}
+
+offload::TargetPtr DataManager::ensure_on(mpi::Rank worker, BufferState& b) {
+  mpi::Rank src = -1;  // -1 = the head's host copy
+  {
+    std::unique_lock<std::mutex> lk(b.lock);
+    for (;;) {
+      const auto it = b.state.find(worker);
+      const CopyState st =
+          it == b.state.end() ? CopyState::Absent : it->second;
+      if (st == CopyState::Valid) return b.addr.at(worker);
+      if (st == CopyState::Transferring) {
+        b.cv.wait(lk);
+        continue;
+      }
+      break;  // Absent: this thread owns the transfer
+    }
+    for (const auto& [r, st] : b.state) {
+      if (st == CopyState::Valid) {
+        src = r;
+        break;
+      }
+    }
+    OMPC_CHECK_MSG(src >= 0 || b.on_head,
+                   "buffer has no valid location anywhere");
+    b.state[worker] = CopyState::Transferring;
+  }
+
+  // Transfer outside the lock: replicas to other workers proceed in
+  // parallel on their own links.
+  const offload::TargetPtr dst = alloc_on(worker, b);
+  if (src >= 0 && opts_.forwarding == Forwarding::Direct) {
+    // §4.3: direct worker->worker forwarding commanded by the head. Both
+    // halves share one payload tag; post the receive half first.
+    const offload::TargetPtr src_ptr = [&] {
+      std::lock_guard<std::mutex> lock(b.lock);
+      return b.addr.at(src);
+    }();
+    const mpi::Tag data_tag = events_.allocate_tag();
+    ArchiveWriter rw;
+    rw.put(ExchangeRecvHeader{dst, b.size, src, data_tag});
+    auto recv_ev = events_.start(worker, EventKind::ExchangeRecv, rw.take());
+    ArchiveWriter sw;
+    sw.put(ExchangeSendHeader{src_ptr, b.size, worker, data_tag});
+    auto send_ev = events_.start(src, EventKind::ExchangeSend, sw.take());
+    send_ev->wait();
+    recv_ev->wait();
+    stats_.exchanges.fetch_add(1, std::memory_order_relaxed);
+  } else if (src >= 0) {
+    // Forwarding::ViaHead ablation strawman: bounce through the head's
+    // host buffer (serialized on the buffer lock — intentionally naive).
+    std::unique_lock<std::mutex> lk(b.lock);
+    if (!b.on_head) {
+      const offload::TargetPtr src_ptr = b.addr.at(src);
+      lk.unlock();
+      events_.start_retrieve(src, src_ptr, b.host, b.size)->wait();
+      stats_.retrieves.fetch_add(1, std::memory_order_relaxed);
+      stats_.bytes_moved.fetch_add(static_cast<std::int64_t>(b.size),
+                                   std::memory_order_relaxed);
+      lk.lock();
+      b.on_head = true;
+    }
+    Bytes payload(b.size);
+    std::memcpy(payload.data(), b.host, b.size);
+    lk.unlock();
+    ArchiveWriter w;
+    w.put(SubmitHeader{dst, b.size});
+    events_.run(worker, EventKind::Submit, w.take(), std::move(payload));
+    stats_.submits.fetch_add(1, std::memory_order_relaxed);
+  } else {
+    // Only the head has the data: submit host -> worker.
+    Bytes payload(b.size);
+    std::memcpy(payload.data(), b.host, b.size);
+    ArchiveWriter w;
+    w.put(SubmitHeader{dst, b.size});
+    events_.run(worker, EventKind::Submit, w.take(), std::move(payload));
+    stats_.submits.fetch_add(1, std::memory_order_relaxed);
+  }
+  stats_.bytes_moved.fetch_add(static_cast<std::int64_t>(b.size),
+                               std::memory_order_relaxed);
+
+  std::lock_guard<std::mutex> lock(b.lock);
+  b.state[worker] = CopyState::Valid;
+  b.cv.notify_all();
+  return dst;
+}
+
+void DataManager::enter_to_worker(mpi::Rank worker, const void* host,
+                                  bool copy) {
+  BufferState* b = find(host);
+  OMPC_CHECK_MSG(b != nullptr, "enter data for unregistered buffer " << host);
+  if (copy) {
+    ensure_on(worker, *b);
+  } else {
+    // map(alloc:): allocate only; first use will still copy (presence-
+    // based forwarding, §4.3).
+    std::unique_lock<std::mutex> lk(b->lock);
+    if (b->state.find(worker) == b->state.end()) {
+      b->state[worker] = CopyState::Transferring;
+      lk.unlock();
+      alloc_on(worker, *b);
+      lk.lock();
+      b->state[worker] = CopyState::Absent;
+      b->cv.notify_all();
+    }
+  }
+}
+
+void DataManager::exit_to_head(void* host, bool copy) {
+  BufferState* b = find(host);
+  OMPC_CHECK_MSG(b != nullptr, "exit data for unregistered buffer " << host);
+  {
+    std::unique_lock<std::mutex> lk(b->lock);
+    if (copy && !b->on_head) {
+      mpi::Rank src = -1;
+      for (const auto& [r, st] : b->state) {
+        if (st == CopyState::Valid) {
+          src = r;
+          break;
+        }
+      }
+      OMPC_CHECK_MSG(src >= 0, "no valid copy of buffer to retrieve");
+      const offload::TargetPtr src_ptr = b->addr.at(src);
+      lk.unlock();
+      events_.start_retrieve(src, src_ptr, host, b->size)->wait();
+      stats_.retrieves.fetch_add(1, std::memory_order_relaxed);
+      stats_.bytes_moved.fetch_add(static_cast<std::int64_t>(b->size),
+                                   std::memory_order_relaxed);
+      lk.lock();
+      b->on_head = true;
+    }
+    // Remove from the entire cluster (§4.3 exit rule).
+    while (!b->addr.empty())
+      delete_on_locked(b->addr.begin()->first, *b, lk);
+  }
+  std::lock_guard<std::mutex> lock(mutex_);
+  buffers_.erase(host);
+}
+
+std::vector<offload::TargetPtr> DataManager::prepare_args(
+    mpi::Rank worker, std::span<const void* const> buffers) {
+  std::vector<BufferState*> states;
+  states.reserve(buffers.size());
+  for (const void* host : buffers) {
+    BufferState* b = find(host);
+    OMPC_CHECK_MSG(b != nullptr,
+                   "target argument " << host << " was never entered");
+    states.push_back(b);
+  }
+  std::vector<offload::TargetPtr> out(buffers.size(), 0);
+  if (states.size() <= 1) {
+    if (!states.empty()) out[0] = ensure_on(worker, *states[0]);
+    return out;
+  }
+  // A target region's inputs arrive from independent locations; fetch them
+  // concurrently so one task pays max(transfer) instead of sum(transfer).
+  // (ensure_on already coalesces duplicate buffers in the argument list.)
+  std::vector<std::thread> fetchers;
+  fetchers.reserve(states.size() - 1);
+  for (std::size_t i = 1; i < states.size(); ++i) {
+    fetchers.emplace_back([&, i] { out[i] = ensure_on(worker, *states[i]); });
+  }
+  out[0] = ensure_on(worker, *states[0]);
+  for (auto& f : fetchers) f.join();
+  return out;
+}
+
+void DataManager::after_write(mpi::Rank worker, const omp::DepList& deps) {
+  for (const omp::Dep& d : deps) {
+    if (!omp::is_write(d.type)) continue;
+    BufferState* b = find(d.addr);
+    if (b == nullptr) continue;  // dependence on non-buffer storage
+    std::unique_lock<std::mutex> lk(b->lock);
+    // Dependence edges order writers after every reader (WAR), so no
+    // replica of this buffer can be mid-transfer here.
+    for (const auto& [r, st] : b->state) {
+      OMPC_CHECK_MSG(st != CopyState::Transferring,
+                     "write invalidation raced a transfer");
+      (void)r;
+    }
+    // The writer holds the only fresh copy; every replica is stale and is
+    // removed so a later use must fetch from the up-to-date location.
+    std::vector<mpi::Rank> stale;
+    for (const auto& [r, ptr] : b->addr) {
+      (void)ptr;
+      if (r != worker) stale.push_back(r);
+    }
+    for (mpi::Rank r : stale) delete_on_locked(r, *b, lk);
+    b->state.clear();
+    b->state[worker] = CopyState::Valid;
+    b->on_head = false;
+  }
+}
+
+void DataManager::cleanup_all() {
+  std::vector<BufferState*> all;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    for (auto& [host, b] : buffers_) {
+      (void)host;
+      all.push_back(b.get());
+    }
+  }
+  for (BufferState* b : all) {
+    std::unique_lock<std::mutex> lk(b->lock);
+    while (!b->addr.empty())
+      delete_on_locked(b->addr.begin()->first, *b, lk);
+  }
+  std::lock_guard<std::mutex> lock(mutex_);
+  buffers_.clear();
+}
+
+DataManager::Snapshot DataManager::snapshot(const void* host) const {
+  Snapshot s;
+  BufferState* b = find(host);
+  if (b == nullptr) return s;
+  std::lock_guard<std::mutex> lock(b->lock);
+  s.valid_on_head = b->on_head;
+  for (const auto& [r, st] : b->state) {
+    if (st == CopyState::Valid) s.valid_workers.insert(r);
+  }
+  for (const auto& [r, ptr] : b->addr) {
+    (void)ptr;
+    s.allocated_workers.insert(r);
+  }
+  return s;
+}
+
+}  // namespace ompc::core

@@ -1,0 +1,136 @@
+// The Data Management module (paper §4.3).
+//
+// Lives on the head node ("at the agnostic layer" in Figure 2) and tracks,
+// for every registered buffer, which ranks hold a *valid* copy and at what
+// device address. Decisions follow §4.3's rules verbatim:
+//
+//  - enter data: the buffer is sent to the first node that will use it
+//    (the scheduler pins the enter task there; executing it performs
+//    Alloc + Submit);
+//  - target region: a missing input is forwarded from its most recent
+//    location — a direct worker->worker exchange commanded by the head but
+//    never routed through it (Forwarding::Direct), or a retrieve+submit
+//    bounce for the ablation strawman (Forwarding::ViaHead);
+//  - after a task writes a buffer (out/inout dependence), every other copy
+//    is stale: the DM deletes them and the writer becomes the only valid
+//    location. Read-only uses replicate instead;
+//  - exit data: the freshest copy is retrieved to the head and the buffer
+//    is removed from the whole cluster.
+//
+// Concurrency: helper threads execute many tasks at once. Transfers of the
+// *same* buffer are serialized by a per-buffer mutex (acquired in address
+// order for multi-buffer tasks, so no deadlock); distinct buffers move in
+// parallel.
+#pragma once
+
+#include <map>
+#include <memory>
+#include <mutex>
+#include <set>
+#include <span>
+#include <unordered_map>
+#include <vector>
+
+#include "core/event_system.hpp"
+#include "core/options.hpp"
+#include "omptask/dep.hpp"
+
+namespace ompc::core {
+
+struct DataManagerStats {
+  std::atomic<std::int64_t> submits{0};
+  std::atomic<std::int64_t> retrieves{0};
+  std::atomic<std::int64_t> exchanges{0};
+  std::atomic<std::int64_t> allocs{0};
+  std::atomic<std::int64_t> deletes{0};
+  std::atomic<std::int64_t> bytes_moved{0};
+};
+
+class DataManager {
+ public:
+  DataManager(EventSystem& events, const ClusterOptions& opts)
+      : events_(events), opts_(opts) {}
+
+  // --- registration (recording phase, single-threaded head) -----------
+
+  /// Declares a mappable buffer (the `map` clause extent).
+  void register_buffer(void* host, std::size_t size);
+
+  bool is_registered(const void* host) const;
+  std::size_t buffer_size(const void* host) const;
+  std::size_t num_buffers() const;
+
+  // --- execution phase (called from helper threads) -------------------
+
+  /// Executes a DataEnter task pinned to `worker`: allocate there and, when
+  /// `copy`, submit the host contents.
+  void enter_to_worker(mpi::Rank worker, const void* host, bool copy);
+
+  /// Executes a DataExit task: retrieve the freshest copy to the host
+  /// (when `copy`) and remove the buffer from the entire cluster.
+  void exit_to_head(void* host, bool copy);
+
+  /// Makes every buffer in `buffers` valid on `worker` (§4.3 target-region
+  /// rule) and returns their device addresses, positionally.
+  std::vector<offload::TargetPtr> prepare_args(
+      mpi::Rank worker, std::span<const void* const> buffers);
+
+  /// Applies post-execution invalidation: each written dependence leaves
+  /// `worker` as the only valid location.
+  void after_write(mpi::Rank worker, const omp::DepList& deps);
+
+  /// Deletes every remaining device allocation (pre-shutdown sweep for
+  /// buffers the program never exited).
+  void cleanup_all();
+
+  // --- introspection (tests) ------------------------------------------
+
+  struct Snapshot {
+    bool valid_on_head = false;
+    std::set<mpi::Rank> valid_workers;
+    std::set<mpi::Rank> allocated_workers;
+  };
+  Snapshot snapshot(const void* host) const;
+
+  const DataManagerStats& stats() const { return stats_; }
+
+ private:
+  /// Per-(buffer, worker) replica lifecycle. Concurrent readers fanning one
+  /// buffer out to different workers overlap (each replica is its own
+  /// transfer); a second request for the same worker waits on the cv.
+  enum class CopyState { Absent, Transferring, Valid };
+
+  struct BufferState {
+    void* host = nullptr;
+    std::size_t size = 0;
+    bool on_head = true;  ///< host copy valid
+    std::map<mpi::Rank, offload::TargetPtr> addr;  ///< device allocations
+    std::map<mpi::Rank, CopyState> state;
+    std::mutex lock;  ///< guards addr/state/on_head (not the transfers)
+    std::condition_variable cv;  ///< signalled on Transferring -> Valid
+  };
+
+  BufferState* find(const void* host) const;
+
+  /// Core of §4.3's target-region rule: makes the buffer Valid on `worker`
+  /// and returns its device address. Blocks for the transfer; concurrent
+  /// calls for distinct workers proceed in parallel.
+  offload::TargetPtr ensure_on(mpi::Rank worker, BufferState& b);
+
+  /// Allocates (once) on `worker`; requires b.lock NOT held.
+  offload::TargetPtr alloc_on(mpi::Rank worker, BufferState& b);
+
+  /// Removes the replica on `worker`; requires b.lock held (no transfer in
+  /// flight for that worker).
+  void delete_on_locked(mpi::Rank worker, BufferState& b,
+                        std::unique_lock<std::mutex>& lk);
+
+  EventSystem& events_;
+  const ClusterOptions opts_;
+
+  mutable std::mutex mutex_;  ///< guards the buffer map itself
+  std::unordered_map<const void*, std::unique_ptr<BufferState>> buffers_;
+  DataManagerStats stats_;
+};
+
+}  // namespace ompc::core

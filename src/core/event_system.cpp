@@ -1,0 +1,378 @@
+#include "core/event_system.hpp"
+
+#include <cstdlib>
+#include <cstring>
+
+#include "common/check.hpp"
+#include "common/log.hpp"
+#include "common/time.hpp"
+
+namespace ompc::core {
+
+const char* to_string(EventKind k) {
+  switch (k) {
+    case EventKind::Alloc: return "Alloc";
+    case EventKind::Delete: return "Delete";
+    case EventKind::Submit: return "Submit";
+    case EventKind::Retrieve: return "Retrieve";
+    case EventKind::ExchangeSend: return "ExchangeSend";
+    case EventKind::ExchangeRecv: return "ExchangeRecv";
+    case EventKind::Execute: return "Execute";
+    case EventKind::Shutdown: return "Shutdown";
+  }
+  return "?";
+}
+
+// --- WorkerMemory --------------------------------------------------------
+
+WorkerMemory::~WorkerMemory() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  for (offload::TargetPtr p : live_) std::free(reinterpret_cast<void*>(p));
+}
+
+offload::TargetPtr WorkerMemory::alloc(std::size_t size) {
+  void* p = std::malloc(size == 0 ? 1 : size);
+  OMPC_CHECK_MSG(p != nullptr, "worker allocation of " << size << " B failed");
+  const auto tp = reinterpret_cast<offload::TargetPtr>(p);
+  std::lock_guard<std::mutex> lock(mutex_);
+  live_.insert(tp);
+  return tp;
+}
+
+void WorkerMemory::free(offload::TargetPtr ptr) {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    OMPC_CHECK_MSG(live_.erase(ptr) == 1,
+                   "worker double free of device ptr " << ptr);
+  }
+  std::free(reinterpret_cast<void*>(ptr));
+}
+
+std::size_t WorkerMemory::live() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return live_.size();
+}
+
+// --- OriginEvent ---------------------------------------------------------
+
+const Bytes& OriginEvent::wait() {
+  // Inbound payload (Retrieve) completes before the completion notification
+  // is meaningful; wait for it first.
+  if (data_request_.valid()) data_request_.wait();
+  std::unique_lock<std::mutex> lock(mutex_);
+  cv_.wait(lock, [this] { return done_; });
+  return result_;
+}
+
+bool OriginEvent::done() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return done_;
+}
+
+void OriginEvent::complete(Bytes result) {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    result_ = std::move(result);
+    done_ = true;
+  }
+  cv_.notify_all();
+}
+
+// --- EventSystem ---------------------------------------------------------
+
+EventSystem::EventSystem(mpi::RankContext& ctx, const ClusterOptions& opts,
+                         WorkerMemory* memory, omp::TaskRuntime* exec_pool)
+    : opts_(opts),
+      rank_(ctx.rank()),
+      control_(ctx.comm(0)),
+      memory_(memory),
+      exec_pool_(exec_pool) {
+  OMPC_CHECK_MSG(ctx.universe().options().comms >= 1 + opts.vci,
+                 "universe must pre-create 1 control + vci data comms");
+  data_comms_.reserve(static_cast<std::size_t>(opts.vci));
+  for (int i = 0; i < opts.vci; ++i)
+    data_comms_.push_back(ctx.comm(1 + i));
+
+  handlers_.reserve(static_cast<std::size_t>(opts.handler_threads));
+  for (int i = 0; i < opts.handler_threads; ++i) {
+    handlers_.emplace_back([this, i] {
+      log::set_thread_label("r" + std::to_string(rank_) + "/eh" +
+                            std::to_string(i));
+      handler_main(i);
+    });
+  }
+  gate_ = std::thread([this] {
+    log::set_thread_label("r" + std::to_string(rank_) + "/gate");
+    gate_main();
+  });
+}
+
+EventSystem::~EventSystem() {
+  // Normal paths stop via shutdown_cluster() / the Shutdown event. If the
+  // owner destroys us without that (error unwind), stop locally so threads
+  // join; the gate may be blocked on probe, so poke it with a self-message.
+  if (!stopped()) {
+    EventAnnounce bye;
+    bye.kind = EventKind::Shutdown;
+    bye.origin = rank_;
+    const Bytes msg = bye.serialize();
+    control_.send(msg.data(), msg.size(), rank_, kTagNewEvent);
+  }
+  gate_.join();
+  for (auto& h : handlers_) h.join();
+}
+
+mpi::Comm EventSystem::data_comm_for(mpi::Tag tag) const {
+  return data_comms_[static_cast<std::size_t>(tag) %
+                     data_comms_.size()];
+}
+
+mpi::Tag EventSystem::allocate_tag() {
+  mpi::Tag t = next_tag_.fetch_add(1, std::memory_order_relaxed);
+  OMPC_CHECK_MSG(t < mpi::kMaxUserTag, "event tag space exhausted");
+  return t;
+}
+
+OriginEventPtr EventSystem::start(mpi::Rank dest, EventKind kind, Bytes header,
+                                  Bytes payload) {
+  const mpi::Tag tag = allocate_tag();
+  auto ev = std::make_shared<OriginEvent>(tag, kind, dest);
+  {
+    std::lock_guard<std::mutex> lock(origin_mutex_);
+    origin_events_.emplace(tag, ev);
+  }
+  stats_.originated.fetch_add(1, std::memory_order_relaxed);
+
+  // Eager payload first (Submit): it travels on the event's data comm with
+  // the event tag; the destination's irecv will match it whenever it lands.
+  if (!payload.empty())
+    data_comm_for(tag).isend_bytes(std::move(payload), dest, tag);
+
+  EventAnnounce a;
+  a.kind = kind;
+  a.tag = tag;
+  a.origin = rank_;
+  a.header = std::move(header);
+  const Bytes msg = a.serialize();
+  control_.send(msg.data(), msg.size(), dest, kTagNewEvent);
+  return ev;
+}
+
+OriginEventPtr EventSystem::start_retrieve(mpi::Rank dest,
+                                           offload::TargetPtr src,
+                                           void* dst_host, std::size_t size) {
+  const mpi::Tag tag = allocate_tag();
+  auto ev = std::make_shared<OriginEvent>(tag, EventKind::Retrieve, dest);
+  // Post the landing buffer before the worker can possibly send.
+  ev->data_request_ = data_comm_for(tag).irecv(dst_host, size, dest, tag);
+  {
+    std::lock_guard<std::mutex> lock(origin_mutex_);
+    origin_events_.emplace(tag, ev);
+  }
+  stats_.originated.fetch_add(1, std::memory_order_relaxed);
+
+  ArchiveWriter w;
+  w.put(RetrieveHeader{src, size});
+  EventAnnounce a;
+  a.kind = EventKind::Retrieve;
+  a.tag = tag;
+  a.origin = rank_;
+  a.header = w.take();
+  const Bytes msg = a.serialize();
+  control_.send(msg.data(), msg.size(), dest, kTagNewEvent);
+  return ev;
+}
+
+Bytes EventSystem::run(mpi::Rank dest, EventKind kind, Bytes header,
+                       Bytes payload) {
+  return start(dest, kind, std::move(header), std::move(payload))->wait();
+}
+
+void EventSystem::shutdown_cluster() {
+  // Stop each worker (acknowledged via the normal completion path), then
+  // unblock the local gate with a self-shutdown.
+  std::vector<OriginEventPtr> acks;
+  const int n = control_.size();
+  for (mpi::Rank w = 0; w < n; ++w) {
+    if (w == rank_) continue;
+    acks.push_back(start(w, EventKind::Shutdown, {}));
+  }
+  for (auto& ev : acks) ev->wait();
+
+  EventAnnounce bye;
+  bye.kind = EventKind::Shutdown;
+  bye.origin = rank_;
+  bye.tag = 0;
+  const Bytes msg = bye.serialize();
+  control_.send(msg.data(), msg.size(), rank_, kTagNewEvent);
+  wait_until_stopped();
+}
+
+void EventSystem::wait_until_stopped() {
+  std::unique_lock<std::mutex> lock(stopped_mutex_);
+  stopped_cv_.wait(lock, [this] { return stop_.load(); });
+}
+
+void EventSystem::stop_local() {
+  stop_.store(true, std::memory_order_release);
+  queue_cv_.notify_all();
+  {
+    std::lock_guard<std::mutex> lock(stopped_mutex_);
+  }
+  stopped_cv_.notify_all();
+}
+
+void EventSystem::enqueue_remote(RemoteEvent&& ev) {
+  {
+    std::lock_guard<std::mutex> lock(queue_mutex_);
+    queue_.push_back(std::move(ev));
+  }
+  queue_cv_.notify_one();
+}
+
+void EventSystem::gate_main() {
+  for (;;) {
+    const mpi::Status st = control_.probe(mpi::kAnySource, mpi::kAnyTag);
+    const Bytes msg = control_.recv_bytes(st.source, st.tag);
+    if (st.tag == kTagNewEvent) {
+      EventAnnounce a = EventAnnounce::deserialize(msg);
+      if (a.kind == EventKind::Shutdown) {
+        // Ack remote shutdowns so the head's wait completes; a tag of 0
+        // marks the local self-poke, which needs no ack.
+        if (a.origin != rank_ || a.tag != 0) {
+          send_completion(a.origin, a.tag, {});
+        }
+        stop_local();
+        return;
+      }
+      RemoteEvent ev;
+      ev.announce = std::move(a);
+      enqueue_remote(std::move(ev));
+    } else if (st.tag == kTagComplete) {
+      EventCompletion c = EventCompletion::deserialize(msg);
+      OriginEventPtr ev;
+      {
+        std::lock_guard<std::mutex> lock(origin_mutex_);
+        auto it = origin_events_.find(c.tag);
+        OMPC_CHECK_MSG(it != origin_events_.end(),
+                       "completion for unknown event tag " << c.tag);
+        ev = std::move(it->second);
+        origin_events_.erase(it);
+      }
+      ev->complete(std::move(c.result));
+    } else {
+      OMPC_CHECK_MSG(false, "unexpected control tag " << st.tag);
+    }
+  }
+}
+
+void EventSystem::handler_main(int /*index*/) {
+  for (;;) {
+    RemoteEvent ev;
+    {
+      std::unique_lock<std::mutex> lock(queue_mutex_);
+      queue_cv_.wait(lock, [this] { return stop_.load() || !queue_.empty(); });
+      if (queue_.empty()) return;  // stop and drained
+      ev = std::move(queue_.front());
+      queue_.pop_front();
+    }
+    if (progress(ev)) {
+      stats_.handled.fetch_add(1, std::memory_order_relaxed);
+    } else {
+      // Pending I/O: back off with a real OS sleep so a lone pending event
+      // doesn't turn the handler pool into a spin storm (precise_sleep
+      // would spin for a wait this short), then requeue (step 5b, Fig 3).
+      // 200 us of poll granularity is noise against millisecond transfers.
+      stats_.reenqueued.fetch_add(1, std::memory_order_relaxed);
+      std::this_thread::sleep_for(std::chrono::microseconds(200));
+      enqueue_remote(std::move(ev));
+    }
+  }
+}
+
+void EventSystem::send_completion(mpi::Rank to, mpi::Tag tag, Bytes result) {
+  EventCompletion c;
+  c.tag = tag;
+  c.result = std::move(result);
+  const Bytes msg = c.serialize();
+  control_.send(msg.data(), msg.size(), to, kTagComplete);
+}
+
+bool EventSystem::progress(RemoteEvent& ev) {
+  const EventAnnounce& a = ev.announce;
+  ArchiveReader header(a.header);
+  switch (a.kind) {
+    case EventKind::Alloc: {
+      const auto h = header.get<AllocHeader>();
+      OMPC_CHECK(memory_ != nullptr);
+      const offload::TargetPtr p = memory_->alloc(h.size);
+      ArchiveWriter w;
+      w.put(p);
+      send_completion(a.origin, a.tag, w.take());
+      return true;
+    }
+    case EventKind::Delete: {
+      const auto h = header.get<DeleteHeader>();
+      OMPC_CHECK(memory_ != nullptr);
+      memory_->free(h.ptr);
+      send_completion(a.origin, a.tag, {});
+      return true;
+    }
+    case EventKind::Submit: {
+      const auto h = header.get<SubmitHeader>();
+      if (ev.phase == 0) {
+        ev.io = data_comm_for(a.tag).irecv(
+            reinterpret_cast<void*>(h.dst), h.size, a.origin, a.tag);
+        ev.phase = 1;
+      }
+      if (!ev.io.test()) return false;
+      send_completion(a.origin, a.tag, {});
+      return true;
+    }
+    case EventKind::Retrieve: {
+      const auto h = header.get<RetrieveHeader>();
+      Bytes payload(h.size);
+      std::memcpy(payload.data(), reinterpret_cast<void*>(h.src), h.size);
+      data_comm_for(a.tag).isend_bytes(std::move(payload), a.origin, a.tag);
+      send_completion(a.origin, a.tag, {});
+      return true;
+    }
+    case EventKind::ExchangeSend: {
+      const auto h = header.get<ExchangeSendHeader>();
+      Bytes payload(h.size);
+      std::memcpy(payload.data(), reinterpret_cast<void*>(h.src), h.size);
+      data_comm_for(h.data_tag).isend_bytes(std::move(payload), h.peer,
+                                            h.data_tag);
+      send_completion(a.origin, a.tag, {});
+      return true;
+    }
+    case EventKind::ExchangeRecv: {
+      const auto h = header.get<ExchangeRecvHeader>();
+      if (ev.phase == 0) {
+        ev.io = data_comm_for(h.data_tag).irecv(
+            reinterpret_cast<void*>(h.dst), h.size, h.peer, h.data_tag);
+        ev.phase = 1;
+      }
+      if (!ev.io.test()) return false;
+      send_completion(a.origin, a.tag, {});
+      return true;
+    }
+    case EventKind::Execute: {
+      ExecuteHeader h = ExecuteHeader::deserialize(a.header);
+      std::vector<void*> ptrs;
+      ptrs.reserve(h.buffers.size());
+      for (offload::TargetPtr p : h.buffers)
+        ptrs.push_back(reinterpret_cast<void*>(p));
+      offload::KernelContext ctx(ptrs, h.scalars, exec_pool_, rank_);
+      offload::KernelRegistry::instance().run(h.kernel, ctx);
+      stats_.kernels_run.fetch_add(1, std::memory_order_relaxed);
+      send_completion(a.origin, a.tag, {});
+      return true;
+    }
+    case EventKind::Shutdown:
+      OMPC_CHECK_MSG(false, "Shutdown must be handled by the gate");
+  }
+  return true;
+}
+
+}  // namespace ompc::core

@@ -1,0 +1,182 @@
+// The MPI-based distributed event system (paper §4.2, Figure 3).
+//
+// Per rank:
+//  - a *gate thread* owns the control communicator: it receives new-event
+//    notifications (enqueuing the destination half of each event) and
+//    completion notifications (waking the origin waiter);
+//  - a pool of *event handlers* executes queued events as poll-driven state
+//    machines, re-enqueueing any event with pending I/O;
+//  - origin threads (the head's helper threads) create events, each with a
+//    unique tag; every data message of an event travels on a data
+//    communicator chosen round-robin by that tag (the VCI striping of
+//    §4.2's last paragraph) so events are isolated channels.
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "core/options.hpp"
+#include "core/proto.hpp"
+#include "minimpi/mpi.hpp"
+#include "omptask/runtime.hpp"
+
+namespace ompc::core {
+
+/// Rank-local "device memory": the worker-side heap that Alloc/Delete
+/// events manage. Head code never dereferences these addresses (distinct
+/// address spaces by discipline, DESIGN.md decision 1).
+class WorkerMemory {
+ public:
+  ~WorkerMemory();
+
+  offload::TargetPtr alloc(std::size_t size);
+  void free(offload::TargetPtr ptr);
+  std::size_t live() const;
+
+ private:
+  mutable std::mutex mutex_;
+  std::unordered_set<offload::TargetPtr> live_;
+};
+
+/// Origin half of an event (the E_O of Figure 3). wait() blocks the origin
+/// thread until the destination's completion notification arrives.
+class OriginEvent {
+ public:
+  OriginEvent(mpi::Tag tag, EventKind kind, mpi::Rank dest)
+      : tag_(tag), kind_(kind), dest_(dest) {}
+
+  mpi::Tag tag() const noexcept { return tag_; }
+  EventKind kind() const noexcept { return kind_; }
+  mpi::Rank dest() const noexcept { return dest_; }
+
+  /// Blocks until completion; returns the destination's result blob.
+  const Bytes& wait();
+
+  bool done() const;
+
+ private:
+  friend class EventSystem;
+
+  void complete(Bytes result);
+
+  const mpi::Tag tag_;
+  const EventKind kind_;
+  const mpi::Rank dest_;
+
+  // Inbound payload request (Retrieve posts its irecv before notifying).
+  mpi::Request data_request_;
+
+  mutable std::mutex mutex_;
+  std::condition_variable cv_;
+  bool done_ = false;
+  Bytes result_;
+};
+
+using OriginEventPtr = std::shared_ptr<OriginEvent>;
+
+struct EventSystemStats {
+  std::atomic<std::int64_t> originated{0};
+  std::atomic<std::int64_t> handled{0};
+  std::atomic<std::int64_t> reenqueued{0};
+  std::atomic<std::int64_t> kernels_run{0};
+};
+
+class EventSystem {
+ public:
+  /// `memory`/`exec_pool` may be null on the head (it executes nothing).
+  EventSystem(mpi::RankContext& ctx, const ClusterOptions& opts,
+              WorkerMemory* memory, omp::TaskRuntime* exec_pool);
+  ~EventSystem();
+
+  EventSystem(const EventSystem&) = delete;
+  EventSystem& operator=(const EventSystem&) = delete;
+
+  // --- origin API (head helper threads) --------------------------------
+
+  /// Creates an event, ships its notification (and eager payload, for
+  /// Submit) and returns the waitable origin half.
+  OriginEventPtr start(mpi::Rank dest, EventKind kind, Bytes header,
+                       Bytes payload = {});
+
+  /// Retrieve: posts the inbound irecv into `dst_host` *before* notifying
+  /// the worker, so the payload can never race the receive.
+  OriginEventPtr start_retrieve(mpi::Rank dest, offload::TargetPtr src,
+                                void* dst_host, std::size_t size);
+
+  /// start + wait.
+  Bytes run(mpi::Rank dest, EventKind kind, Bytes header, Bytes payload = {});
+
+  /// Fresh event tag (unique per origin rank).
+  mpi::Tag allocate_tag();
+
+  // --- lifecycle --------------------------------------------------------
+
+  /// Head only: shuts down every worker's event system (acknowledged),
+  /// then stops the local one.
+  void shutdown_cluster();
+
+  /// Blocks the worker main thread until a Shutdown event arrives.
+  void wait_until_stopped();
+
+  bool stopped() const { return stop_.load(std::memory_order_acquire); }
+
+  const EventSystemStats& stats() const { return stats_; }
+  mpi::Rank rank() const noexcept { return rank_; }
+
+ private:
+  /// Destination half of an event (the E_D of Figure 3).
+  struct RemoteEvent {
+    EventAnnounce announce;
+    int phase = 0;
+    mpi::Request io;  ///< pending irecv for Submit / ExchangeRecv
+  };
+
+  void gate_main();
+  void handler_main(int index);
+
+  /// Advances the event; true when finished (completion already sent).
+  bool progress(RemoteEvent& ev);
+  void send_completion(mpi::Rank to, mpi::Tag tag, Bytes result);
+
+  mpi::Comm data_comm_for(mpi::Tag tag) const;
+
+  void enqueue_remote(RemoteEvent&& ev);
+  void stop_local();
+
+  const ClusterOptions opts_;
+  const mpi::Rank rank_;
+  mpi::Comm control_;
+  std::vector<mpi::Comm> data_comms_;
+
+  WorkerMemory* memory_;
+  omp::TaskRuntime* exec_pool_;
+
+  // Origin registry: events awaiting completion, keyed by tag.
+  std::mutex origin_mutex_;
+  std::unordered_map<mpi::Tag, OriginEventPtr> origin_events_;
+  std::atomic<mpi::Tag> next_tag_{kFirstEventTag};
+
+  // Local destination-event queue.
+  std::mutex queue_mutex_;
+  std::condition_variable queue_cv_;
+  std::deque<RemoteEvent> queue_;
+
+  std::atomic<bool> stop_{false};
+  std::mutex stopped_mutex_;
+  std::condition_variable stopped_cv_;
+
+  EventSystemStats stats_;
+
+  std::vector<std::thread> handlers_;
+  std::thread gate_;  // declared last: starts after, joined first
+};
+
+}  // namespace ompc::core

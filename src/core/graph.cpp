@@ -1,0 +1,154 @@
+#include "core/graph.hpp"
+
+#include <algorithm>
+#include <map>
+#include <unordered_map>
+
+#include "common/check.hpp"
+
+namespace ompc::core {
+
+ClusterGraph::ClusterGraph(std::function<std::size_t(const void*)> buffer_size)
+    : buffer_size_(std::move(buffer_size)) {}
+
+int ClusterGraph::add_task(ClusterTask task) {
+  OMPC_CHECK_MSG(!edges_built_, "graph is frozen after build_edges()");
+  const int id = static_cast<int>(tasks_.size());
+  task.id = id;
+  tasks_.push_back(std::move(task));
+  return id;
+}
+
+void ClusterGraph::build_edges() {
+  OMPC_CHECK(!edges_built_);
+  edges_built_ = true;
+
+  struct AddrState {
+    int last_writer = -1;
+    std::vector<int> readers_since_write;
+  };
+  std::unordered_map<const void*, AddrState> state;
+
+  // De-duplicates multi-dep edges between the same task pair, keeping the
+  // largest byte weight (a pair linked through two buffers transfers both,
+  // but HEFT's cost model charges the critical transfer).
+  std::map<std::pair<int, int>, std::size_t> edge_set;
+
+  auto add_edge = [&](int from, int to, const void* addr) {
+    if (from < 0 || from == to) return;
+    const std::size_t bytes =
+        (buffer_size_ && addr != nullptr) ? buffer_size_(addr) : 0;
+    auto [it, inserted] = edge_set.emplace(std::make_pair(from, to), bytes);
+    if (!inserted) it->second = std::max(it->second, bytes);
+  };
+
+  for (const ClusterTask& t : tasks_) {
+    for (const omp::Dep& d : t.deps) {
+      AddrState& st = state[d.addr];
+      if (d.type == omp::DepType::In) {
+        add_edge(st.last_writer, t.id, d.addr);
+        st.readers_since_write.push_back(t.id);
+      } else {
+        add_edge(st.last_writer, t.id, d.addr);
+        for (int r : st.readers_since_write) add_edge(r, t.id, d.addr);
+        st.readers_since_write.clear();
+        st.last_writer = t.id;
+      }
+    }
+  }
+
+  edges_.reserve(edge_set.size());
+  for (const auto& [pair, bytes] : edge_set) {
+    edges_.push_back(Edge{pair.first, pair.second, bytes});
+    tasks_[static_cast<std::size_t>(pair.first)].succs.push_back(pair.second);
+    tasks_[static_cast<std::size_t>(pair.second)].preds.push_back(pair.first);
+  }
+}
+
+std::vector<int> ClusterGraph::roots() const {
+  std::vector<int> out;
+  for (const ClusterTask& t : tasks_) {
+    if (t.preds.empty()) out.push_back(t.id);
+  }
+  return out;
+}
+
+std::vector<int> ClusterGraph::topological_order() const {
+  std::vector<int> indegree(tasks_.size(), 0);
+  for (const ClusterTask& t : tasks_)
+    indegree[static_cast<std::size_t>(t.id)] = static_cast<int>(t.preds.size());
+
+  std::vector<int> order;
+  order.reserve(tasks_.size());
+  std::vector<int> frontier = roots();
+  while (!frontier.empty()) {
+    const int id = frontier.back();
+    frontier.pop_back();
+    order.push_back(id);
+    for (int s : tasks_[static_cast<std::size_t>(id)].succs) {
+      if (--indegree[static_cast<std::size_t>(s)] == 0) frontier.push_back(s);
+    }
+  }
+  OMPC_CHECK_MSG(order.size() == tasks_.size(),
+                 "dependence graph contains a cycle");
+  return order;
+}
+
+std::size_t ClusterGraph::edge_bytes(int from, int to) const {
+  for (const Edge& e : edges_) {
+    if (e.from == from && e.to == to) return e.bytes;
+  }
+  return 0;
+}
+
+CollapsedView ClusterGraph::collapsed() const {
+  CollapsedView v;
+  v.view_index.assign(tasks_.size(), -1);
+  for (const ClusterTask& t : tasks_) {
+    if (t.type == TaskType::Target || t.type == TaskType::Host) {
+      v.view_index[static_cast<std::size_t>(t.id)] =
+          static_cast<int>(v.task_ids.size());
+      v.task_ids.push_back(t.id);
+    }
+  }
+  v.succs.resize(v.task_ids.size());
+  v.preds.resize(v.task_ids.size());
+
+  // Collapse chains compute -> data* -> compute into direct edges carrying
+  // the max byte weight along the chain. Data-task chains are short (a
+  // single data node), so a small DFS per edge suffices.
+  auto is_compute = [&](int id) {
+    return v.view_index[static_cast<std::size_t>(id)] >= 0;
+  };
+
+  auto add = [&](int from_view, int to_view, std::size_t bytes) {
+    auto& sl = v.succs[static_cast<std::size_t>(from_view)];
+    for (auto& [t, b] : sl) {
+      if (t == to_view) {
+        b = std::max(b, bytes);
+        return;
+      }
+    }
+    sl.emplace_back(to_view, bytes);
+    v.preds[static_cast<std::size_t>(to_view)].emplace_back(from_view, bytes);
+  };
+
+  for (const Edge& e : edges_) {
+    if (!is_compute(e.from)) continue;
+    const int from_view = v.view_index[static_cast<std::size_t>(e.from)];
+    if (is_compute(e.to)) {
+      add(from_view, v.view_index[static_cast<std::size_t>(e.to)], e.bytes);
+      continue;
+    }
+    // e.to is a data task: connect to each of its compute successors.
+    for (int s : tasks_[static_cast<std::size_t>(e.to)].succs) {
+      if (is_compute(s)) {
+        add(from_view, v.view_index[static_cast<std::size_t>(s)],
+            std::max(e.bytes, edge_bytes(e.to, s)));
+      }
+    }
+  }
+  return v;
+}
+
+}  // namespace ompc::core

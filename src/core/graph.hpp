@@ -1,0 +1,108 @@
+// Cluster task graph: what the head node accumulates between wait_all()
+// barriers (paper §4.4 — tasks are created eagerly but execution is
+// deferred until the implicit barrier, when the whole graph is scheduled).
+//
+// Node kinds mirror the paper:
+//  - Target     — a `target nowait` region (kernel + buffer args + deps)
+//  - DataEnter  — `target enter data nowait` (allocate/copy to the cluster)
+//  - DataExit   — `target exit data nowait` (retrieve/remove from cluster)
+//  - Host       — a classical `task` (always executed on the head, §4.4)
+//
+// Edges are derived from depend clauses with OpenMP semantics and carry the
+// byte size of the dependence's buffer, which feeds the HEFT communication
+// cost model.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <span>
+#include <vector>
+
+#include "common/serialize.hpp"
+#include "offload/kernel_registry.hpp"
+#include "omptask/dep.hpp"
+
+namespace ompc::core {
+
+enum class TaskType : std::uint8_t { Target, DataEnter, DataExit, Host };
+
+struct ClusterTask {
+  int id = 0;
+  TaskType type = TaskType::Target;
+
+  // Target tasks.
+  offload::KernelId kernel = offload::kInvalidKernel;
+  std::vector<const void*> buffer_args;  ///< host pointers, positional
+  Bytes scalars;
+  double cost_s = 0.0;  ///< compute estimate for the scheduler (0 = default)
+
+  // Data tasks.
+  const void* buffer = nullptr;
+  bool copy = true;  ///< enter: copy payload; exit: copy back to host
+
+  // Host tasks.
+  std::function<void()> host_fn;
+
+  omp::DepList deps;
+
+  // Derived edges (indices into the graph's task vector).
+  std::vector<int> preds;
+  std::vector<int> succs;
+};
+
+struct Edge {
+  int from = 0;
+  int to = 0;
+  std::size_t bytes = 0;
+};
+
+/// A graph view with data tasks collapsed away: HEFT schedules compute
+/// tasks only, and the paper's adaptation pins each data task to its
+/// consumer/producer afterwards (§4.4, second adaptation).
+struct CollapsedView {
+  std::vector<int> task_ids;            ///< graph ids of the view's nodes
+  std::vector<int> view_index;          ///< graph id -> view index (-1 none)
+  std::vector<std::vector<std::pair<int, std::size_t>>> succs;  ///< per view node: (succ view idx, bytes)
+  std::vector<std::vector<std::pair<int, std::size_t>>> preds;
+};
+
+class ClusterGraph {
+ public:
+  /// `buffer_size(addr)` resolves a dependence address to its buffer size
+  /// for edge weights (unknown addresses weigh 0).
+  explicit ClusterGraph(
+      std::function<std::size_t(const void*)> buffer_size = {});
+
+  int add_task(ClusterTask task);
+
+  /// Resolves depend clauses into edges. Called once, after all add_task().
+  void build_edges();
+
+  std::size_t size() const noexcept { return tasks_.size(); }
+  bool empty() const noexcept { return tasks_.empty(); }
+  const ClusterTask& task(int id) const { return tasks_[static_cast<std::size_t>(id)]; }
+  ClusterTask& task(int id) { return tasks_[static_cast<std::size_t>(id)]; }
+  const std::vector<ClusterTask>& tasks() const noexcept { return tasks_; }
+  const std::vector<Edge>& edges() const noexcept { return edges_; }
+
+  /// Entry tasks (no predecessors). Valid after build_edges().
+  std::vector<int> roots() const;
+
+  /// Topological order (ids). Throws if the dependence graph has a cycle
+  /// (impossible via depend clauses, defensive for hand-built graphs).
+  std::vector<int> topological_order() const;
+
+  /// Data-task-free view for the scheduler.
+  CollapsedView collapsed() const;
+
+  /// Bytes attached to the edge from->to (0 when absent).
+  std::size_t edge_bytes(int from, int to) const;
+
+ private:
+  std::function<std::size_t(const void*)> buffer_size_;
+  std::vector<ClusterTask> tasks_;
+  std::vector<Edge> edges_;
+  bool edges_built_ = false;
+};
+
+}  // namespace ompc::core

@@ -1,0 +1,61 @@
+#include "core/heartbeat.hpp"
+
+#include "common/log.hpp"
+#include "common/time.hpp"
+
+namespace ompc::core {
+
+namespace {
+constexpr mpi::Tag kPingTag = 7;
+}
+
+HeartbeatRing::HeartbeatRing(mpi::Comm comm, Options opts,
+                             std::function<void(mpi::Rank)> on_failure)
+    : comm_(comm), opts_(opts), on_failure_(std::move(on_failure)) {
+  const int n = comm_.size();
+  prev_ = (comm_.rank() - 1 + n) % n;
+  next_ = (comm_.rank() + 1) % n;
+  thread_ = std::thread([this] {
+    log::set_thread_label("hb" + std::to_string(comm_.rank()));
+    ring_main();
+  });
+}
+
+HeartbeatRing::~HeartbeatRing() { stop(); }
+
+void HeartbeatRing::stop() {
+  bool expected = false;
+  if (!stop_.compare_exchange_strong(expected, true)) return;
+  thread_.join();
+}
+
+void HeartbeatRing::ring_main() {
+  if (comm_.size() == 1) return;  // no neighbours to monitor
+
+  // Grace: the predecessor counts as alive at startup.
+  std::int64_t last_ping_ns = now_ns();
+  const std::int64_t period_ns = opts_.period_ms * 1'000'000;
+  const std::int64_t timeout_ns = opts_.timeout_ms * 1'000'000;
+
+  while (!stop_.load(std::memory_order_relaxed)) {
+    if (!paused_.load(std::memory_order_relaxed)) {
+      const std::uint64_t beat = 1;
+      comm_.send(&beat, sizeof beat, next_, kPingTag);
+    }
+    // Drain everything the predecessor sent since the last round.
+    while (comm_.iprobe(prev_, kPingTag)) {
+      std::uint64_t beat = 0;
+      comm_.recv(&beat, sizeof beat, prev_, kPingTag);
+      last_ping_ns = now_ns();
+    }
+    if (!failed_.load(std::memory_order_relaxed) &&
+        now_ns() - last_ping_ns > timeout_ns) {
+      failed_.store(true, std::memory_order_relaxed);
+      OMPC_LOG_WARN("heartbeat: rank " << prev_ << " stopped responding");
+      if (on_failure_) on_failure_(prev_);
+    }
+    precise_sleep_ns(period_ns);
+  }
+}
+
+}  // namespace ompc::core

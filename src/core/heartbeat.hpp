@@ -1,0 +1,67 @@
+// Fault-detection heartbeat ring (paper §3.1).
+//
+// "each node in OMPC (head node and worker nodes) has a heartbeat
+//  mechanism, connected in a ring topology, which allows nodes to monitor
+//  their neighbors" — the paper defers restart to future work, so this
+// component implements exactly the detection half: every node pings its
+// successor each period and flags its predecessor dead when pings stop
+// arriving for `timeout`. Failure simulation for tests is a method
+// (pause()), since ranks are threads and cannot be killed.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <thread>
+
+#include "minimpi/comm.hpp"
+
+namespace ompc::core {
+
+class HeartbeatRing {
+ public:
+  struct Options {
+    std::int64_t period_ms = 20;
+    std::int64_t timeout_ms = 100;
+  };
+
+  /// `comm` must be dedicated to the ring (dup() one). `on_failure` is
+  /// invoked at most once, from the heartbeat thread, with the rank of the
+  /// dead predecessor.
+  HeartbeatRing(mpi::Comm comm, Options opts,
+                std::function<void(mpi::Rank)> on_failure);
+  ~HeartbeatRing();
+
+  HeartbeatRing(const HeartbeatRing&) = delete;
+  HeartbeatRing& operator=(const HeartbeatRing&) = delete;
+
+  void stop();
+
+  /// Simulates this node going silent (its successor will flag it).
+  void pause() { paused_.store(true, std::memory_order_relaxed); }
+  void resume() { paused_.store(false, std::memory_order_relaxed); }
+
+  /// Whether the predecessor has been declared dead.
+  bool predecessor_failed() const {
+    return failed_.load(std::memory_order_relaxed);
+  }
+
+  mpi::Rank predecessor() const noexcept { return prev_; }
+  mpi::Rank successor() const noexcept { return next_; }
+
+ private:
+  void ring_main();
+
+  mpi::Comm comm_;
+  Options opts_;
+  std::function<void(mpi::Rank)> on_failure_;
+  mpi::Rank prev_ = 0;
+  mpi::Rank next_ = 0;
+
+  std::atomic<bool> stop_{false};
+  std::atomic<bool> paused_{false};
+  std::atomic<bool> failed_{false};
+  std::thread thread_;
+};
+
+}  // namespace ompc::core

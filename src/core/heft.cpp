@@ -1,0 +1,242 @@
+#include "core/heft.hpp"
+
+#include <algorithm>
+#include <limits>
+
+#include "common/check.hpp"
+#include "common/rng.hpp"
+#include "common/time.hpp"
+
+namespace ompc::core {
+
+namespace {
+
+double task_cost(const ClusterTask& t, double default_cost_s) {
+  return t.cost_s > 0.0 ? t.cost_s : default_cost_s;
+}
+
+/// Upward rank: rank(i) = cost(i) + max over successors of
+/// (comm(i,j) + rank(j)), computed in reverse topological order of the
+/// collapsed view.
+std::vector<double> upward_ranks(const ClusterGraph& graph,
+                                 const CollapsedView& view,
+                                 const CostModel& cost,
+                                 double default_cost_s) {
+  const std::size_t n = view.task_ids.size();
+  std::vector<double> rank(n, 0.0);
+
+  // Reverse topological order over the view: process a node once all its
+  // successors are done (Kahn on the reversed DAG).
+  std::vector<int> out_remaining(n);
+  std::vector<int> stack;
+  for (std::size_t i = 0; i < n; ++i) {
+    out_remaining[i] = static_cast<int>(view.succs[i].size());
+    if (out_remaining[i] == 0) stack.push_back(static_cast<int>(i));
+  }
+  std::size_t processed = 0;
+  while (!stack.empty()) {
+    const int i = stack.back();
+    stack.pop_back();
+    ++processed;
+    const ClusterTask& t = graph.task(view.task_ids[static_cast<std::size_t>(i)]);
+    double best_succ = 0.0;
+    for (const auto& [s, bytes] : view.succs[static_cast<std::size_t>(i)]) {
+      best_succ = std::max(
+          best_succ, cost.comm_s(bytes) + rank[static_cast<std::size_t>(s)]);
+    }
+    rank[static_cast<std::size_t>(i)] =
+        task_cost(t, default_cost_s) + best_succ;
+    for (const auto& [p, bytes] : view.preds[static_cast<std::size_t>(i)]) {
+      (void)bytes;
+      if (--out_remaining[static_cast<std::size_t>(p)] == 0) stack.push_back(p);
+    }
+  }
+  OMPC_CHECK_MSG(processed == n, "collapsed view contains a cycle");
+  return rank;
+}
+
+/// Per-processor timeline supporting HEFT's insertion policy: find the
+/// earliest idle gap of length `len` at or after `ready`.
+class Timeline {
+ public:
+  double earliest_start(double ready, double len) const {
+    double cursor = ready;
+    for (const auto& [start, end] : busy_) {
+      if (start - cursor >= len) return cursor;  // fits in the gap
+      cursor = std::max(cursor, end);
+    }
+    return cursor;
+  }
+
+  void reserve(double start, double end) {
+    auto it = std::lower_bound(
+        busy_.begin(), busy_.end(), start,
+        [](const auto& slot, double v) { return slot.first < v; });
+    busy_.insert(it, {start, end});
+  }
+
+ private:
+  std::vector<std::pair<double, double>> busy_;  // sorted by start
+};
+
+ScheduleResult schedule_heft(const ClusterGraph& graph,
+                             const CollapsedView& view, int num_workers,
+                             const CostModel& cost, double default_cost_s) {
+  const std::size_t n = view.task_ids.size();
+  ScheduleResult result;
+  result.processor.assign(graph.size(), kHeadProc);
+
+  const std::vector<double> rank =
+      upward_ranks(graph, view, cost, default_cost_s);
+
+  // Schedule in decreasing upward rank (ties by id for determinism).
+  std::vector<int> order(n);
+  for (std::size_t i = 0; i < n; ++i) order[i] = static_cast<int>(i);
+  std::sort(order.begin(), order.end(), [&](int a, int b) {
+    const double ra = rank[static_cast<std::size_t>(a)];
+    const double rb = rank[static_cast<std::size_t>(b)];
+    return ra != rb ? ra > rb : a < b;
+  });
+
+  std::vector<Timeline> timelines(static_cast<std::size_t>(num_workers));
+  Timeline head_timeline;
+  std::vector<double> finish(n, 0.0);
+  std::vector<int> proc(n, kHeadProc);
+  double makespan = 0.0;
+
+  for (int vi : order) {
+    const std::size_t v = static_cast<std::size_t>(vi);
+    const ClusterTask& t = graph.task(view.task_ids[v]);
+    const double len = task_cost(t, default_cost_s);
+
+    auto ready_on = [&](int candidate) {
+      // Data must have arrived from every predecessor; transfers between
+      // distinct processors pay the communication cost.
+      double ready = 0.0;
+      for (const auto& [p, bytes] : view.preds[v]) {
+        const std::size_t ps = static_cast<std::size_t>(p);
+        double arrive = finish[ps];
+        if (proc[ps] != candidate) arrive += cost.comm_s(bytes);
+        ready = std::max(ready, arrive);
+      }
+      return ready;
+    };
+
+    if (t.type == TaskType::Host) {
+      // Adaptation 1: classical tasks run on the head, unconditionally.
+      const double ready = ready_on(kHeadProc);
+      const double start = head_timeline.earliest_start(ready, len);
+      head_timeline.reserve(start, start + len);
+      proc[v] = kHeadProc;
+      finish[v] = start + len;
+    } else {
+      double best_eft = std::numeric_limits<double>::infinity();
+      int best_p = 0;
+      double best_start = 0.0;
+      for (int p = 0; p < num_workers; ++p) {
+        const double ready = ready_on(p);
+        const double start =
+            timelines[static_cast<std::size_t>(p)].earliest_start(ready, len);
+        const double eft = start + len;
+        if (eft < best_eft) {
+          best_eft = eft;
+          best_p = p;
+          best_start = start;
+        }
+      }
+      timelines[static_cast<std::size_t>(best_p)].reserve(best_start,
+                                                          best_eft);
+      proc[v] = best_p;
+      finish[v] = best_eft;
+    }
+    makespan = std::max(makespan, finish[v]);
+    result.processor[static_cast<std::size_t>(view.task_ids[v])] = proc[v];
+  }
+  result.makespan_estimate_s = makespan;
+  return result;
+}
+
+ScheduleResult schedule_simple(SchedulerKind kind, const ClusterGraph& graph,
+                               const CollapsedView& view, int num_workers,
+                               double default_cost_s, std::uint64_t seed) {
+  ScheduleResult result;
+  result.processor.assign(graph.size(), kHeadProc);
+  XorShift64 rng(seed);
+  std::vector<double> load(static_cast<std::size_t>(num_workers), 0.0);
+  int rr = 0;
+  for (std::size_t v = 0; v < view.task_ids.size(); ++v) {
+    const ClusterTask& t = graph.task(view.task_ids[v]);
+    if (t.type == TaskType::Host) continue;  // stays on the head
+    int p = 0;
+    switch (kind) {
+      case SchedulerKind::RoundRobin:
+        p = rr++ % num_workers;
+        break;
+      case SchedulerKind::Random:
+        p = static_cast<int>(rng.next_below(static_cast<std::uint64_t>(num_workers)));
+        break;
+      case SchedulerKind::MinLoad: {
+        p = static_cast<int>(std::min_element(load.begin(), load.end()) -
+                             load.begin());
+        load[static_cast<std::size_t>(p)] += task_cost(t, default_cost_s);
+        break;
+      }
+      default:
+        OMPC_CHECK(false);
+    }
+    result.processor[static_cast<std::size_t>(view.task_ids[v])] = p;
+  }
+  return result;
+}
+
+/// Adaptation 2: pin data tasks next to their compute partner.
+void pin_data_tasks(const ClusterGraph& graph, ScheduleResult& result) {
+  for (const ClusterTask& t : graph.tasks()) {
+    if (t.type == TaskType::DataEnter) {
+      // First consumer's worker (falls back to worker 0 for unused data).
+      int pin = 0;
+      for (int s : t.succs) {
+        const int p = result.processor[static_cast<std::size_t>(s)];
+        if (p != kHeadProc) {
+          pin = p;
+          break;
+        }
+      }
+      result.processor[static_cast<std::size_t>(t.id)] = pin;
+    } else if (t.type == TaskType::DataExit) {
+      // Producer's worker.
+      int pin = 0;
+      for (int p_id : t.preds) {
+        const int p = result.processor[static_cast<std::size_t>(p_id)];
+        if (p != kHeadProc) {
+          pin = p;
+          break;
+        }
+      }
+      result.processor[static_cast<std::size_t>(t.id)] = pin;
+    }
+  }
+}
+
+}  // namespace
+
+ScheduleResult schedule(SchedulerKind kind, const ClusterGraph& graph,
+                        int num_workers, const CostModel& cost,
+                        double default_cost_s, std::uint64_t seed) {
+  OMPC_CHECK_MSG(num_workers >= 1, "scheduling requires >= 1 worker");
+  const Stopwatch timer;
+  const CollapsedView view = graph.collapsed();
+
+  ScheduleResult result;
+  if (kind == SchedulerKind::Heft) {
+    result = schedule_heft(graph, view, num_workers, cost, default_cost_s);
+  } else {
+    result = schedule_simple(kind, graph, view, num_workers, default_cost_s,
+                             seed);
+  }
+  pin_data_tasks(graph, result);
+  result.schedule_ns = timer.elapsed_ns();
+  return result;
+}
+
+}  // namespace ompc::core

@@ -1,0 +1,57 @@
+// Task-to-worker schedulers (paper §4.4).
+//
+// The primary policy is HEFT [Topcuoglu et al. 2002] with the paper's two
+// adaptations:
+//   1. classical `task` nodes are pinned to the head node (OpenMP
+//      semantics would be violated otherwise);
+//   2. `target data nowait` nodes never enter the scheduler — they are
+//      pinned afterwards to the worker of their first consumer (enter) or
+//      their producer (exit), so transfers are never staged through an
+//      unrelated process.
+// Round-robin, random and min-load policies exist for the scheduler
+// ablation bench.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "core/graph.hpp"
+#include "core/options.hpp"
+
+namespace ompc::core {
+
+/// Worker index (0-based, NOT a minimpi rank) per task id; kHeadProc for
+/// tasks executed by the head node.
+inline constexpr int kHeadProc = -1;
+
+struct ScheduleResult {
+  std::vector<int> processor;  ///< per graph task id
+  double makespan_estimate_s = 0.0;
+  std::int64_t schedule_ns = 0;  ///< wall time the scheduler itself took
+};
+
+struct CostModel {
+  /// Estimated seconds to move `bytes` between two distinct processors.
+  double latency_s = 0.0;
+  double per_byte_s = 0.0;
+
+  double comm_s(std::size_t bytes) const {
+    return latency_s + per_byte_s * static_cast<double>(bytes);
+  }
+
+  static CostModel from_network(const mpi::NetworkModel& net) {
+    CostModel m;
+    m.latency_s = static_cast<double>(net.latency_ns) / 1e9;
+    m.per_byte_s = net.bandwidth_Bps > 0.0 ? 1.0 / net.bandwidth_Bps : 0.0;
+    return m;
+  }
+};
+
+/// Schedules `graph` onto `num_workers` workers with the chosen policy and
+/// applies the data-task pinning adaptation. `default_cost_s` substitutes
+/// for tasks with cost_s == 0.
+ScheduleResult schedule(SchedulerKind kind, const ClusterGraph& graph,
+                        int num_workers, const CostModel& cost,
+                        double default_cost_s, std::uint64_t seed = 0);
+
+}  // namespace ompc::core

@@ -1,0 +1,151 @@
+// Wire protocol of the OMPC event system (§4.2).
+//
+// Three message classes flow between ranks:
+//   1. new-event notifications   (control comm, tag kTagNewEvent)
+//   2. event data messages       (data comm chosen by tag, tag = event tag)
+//   3. completion notifications  (control comm, tag kTagComplete)
+// Every event owns a unique origin-allocated tag; all its data messages use
+// that tag, so matching can never cross-talk between events (the paper's
+// "exclusive channel" invariant).
+#pragma once
+
+#include <cstdint>
+
+#include "common/serialize.hpp"
+#include "minimpi/types.hpp"
+#include "offload/kernel_registry.hpp"
+#include "offload/plugin.hpp"
+
+namespace ompc::core {
+
+/// Actions a destination rank can perform — one-to-one with the plugin API
+/// (paper §4.2: "a one-to-one match to all the required functions that a
+/// device plugin must implement").
+enum class EventKind : std::uint8_t {
+  Alloc = 1,     ///< allocate device memory; replies with the address
+  Delete,        ///< free device memory
+  Submit,        ///< receive buffer data from the origin (host -> worker)
+  Retrieve,      ///< send buffer data to the origin (worker -> host)
+  ExchangeSend,  ///< send a local buffer directly to another worker
+  ExchangeRecv,  ///< receive a buffer directly from another worker
+  Execute,       ///< run a registered kernel on local device memory
+  Shutdown,      ///< stop the event system (sent once by the head)
+};
+
+const char* to_string(EventKind k);
+
+/// Control-communicator tags.
+inline constexpr mpi::Tag kTagNewEvent = 1;
+inline constexpr mpi::Tag kTagComplete = 2;
+
+/// First tag usable by events (small tags are control tags).
+inline constexpr mpi::Tag kFirstEventTag = 16;
+
+// --- event headers (serialized into the new-event notification) ---------
+
+struct AllocHeader {
+  std::uint64_t size = 0;
+};
+
+struct DeleteHeader {
+  offload::TargetPtr ptr = 0;
+};
+
+struct SubmitHeader {
+  offload::TargetPtr dst = 0;
+  std::uint64_t size = 0;
+};
+
+struct RetrieveHeader {
+  offload::TargetPtr src = 0;
+  std::uint64_t size = 0;
+};
+
+/// The two halves of a worker->worker forward share one wire tag
+/// (`data_tag`) so the payload matches even though each half is its own
+/// event with its own notification tag.
+struct ExchangeSendHeader {
+  offload::TargetPtr src = 0;
+  std::uint64_t size = 0;
+  mpi::Rank peer = 0;      ///< destination worker rank
+  mpi::Tag data_tag = 0;   ///< tag of the payload message
+};
+
+struct ExchangeRecvHeader {
+  offload::TargetPtr dst = 0;
+  std::uint64_t size = 0;
+  mpi::Rank peer = 0;      ///< source worker rank
+  mpi::Tag data_tag = 0;   ///< tag of the payload message
+};
+
+/// Execute carries variable-length argument lists, serialized explicitly.
+struct ExecuteHeader {
+  offload::KernelId kernel = offload::kInvalidKernel;
+  std::vector<offload::TargetPtr> buffers;
+  Bytes scalars;
+
+  Bytes serialize() const {
+    ArchiveWriter w;
+    w.put(kernel);
+    w.put_vector(buffers);
+    w.put_blob(std::span<const std::byte>(scalars.data(), scalars.size()));
+    return w.take();
+  }
+  static ExecuteHeader deserialize(std::span<const std::byte> data) {
+    ArchiveReader r(data);
+    ExecuteHeader h;
+    h.kernel = r.get<offload::KernelId>();
+    h.buffers = r.get_vector<offload::TargetPtr>();
+    h.scalars = r.get_blob();
+    return h;
+  }
+};
+
+/// Envelope of a new-event notification.
+struct EventAnnounce {
+  EventKind kind = EventKind::Shutdown;
+  mpi::Tag tag = 0;
+  mpi::Rank origin = 0;
+  Bytes header;
+
+  Bytes serialize() const {
+    ArchiveWriter w;
+    w.put(kind);
+    w.put(tag);
+    w.put(origin);
+    w.put_blob(std::span<const std::byte>(header.data(), header.size()));
+    return w.take();
+  }
+  static EventAnnounce deserialize(std::span<const std::byte> data) {
+    ArchiveReader r(data);
+    EventAnnounce a;
+    a.kind = r.get<EventKind>();
+    a.tag = r.get<mpi::Tag>();
+    a.origin = r.get<mpi::Rank>();
+    a.header = r.get_blob();
+    return a;
+  }
+};
+
+/// Envelope of a completion notification (result rides along: Alloc returns
+/// the device address here).
+struct EventCompletion {
+  mpi::Tag tag = 0;
+  Bytes result;
+
+  Bytes serialize() const {
+    ArchiveWriter w;
+    w.put(tag);
+    w.put_blob(std::span<const std::byte>(result.data(), result.size()));
+    return w.take();
+  }
+  static EventCompletion deserialize(std::span<const std::byte> data) {
+    ArchiveReader r(data);
+    EventCompletion c;
+    c.tag = r.get<mpi::Tag>();
+    c.result = r.get_blob();
+    return c;
+  }
+};
+
+}  // namespace ompc::core

@@ -1,0 +1,280 @@
+#include "core/runtime.hpp"
+
+#include <algorithm>
+#include <condition_variable>
+#include <deque>
+#include <thread>
+
+#include "common/check.hpp"
+#include "common/log.hpp"
+#include "common/time.hpp"
+
+namespace ompc::core {
+
+namespace {
+/// Worker index (0-based scheduler processor) -> minimpi rank.
+mpi::Rank rank_of_proc(int proc) { return proc + 1; }
+}  // namespace
+
+Runtime::Runtime(const ClusterOptions& opts, EventSystem& events)
+    : opts_(opts), events_(events), dm_(events, opts), graph_(fresh_graph()) {}
+
+Runtime::~Runtime() = default;
+
+ClusterGraph Runtime::fresh_graph() const {
+  // Edge weights resolve dependence addresses to buffer sizes through the
+  // data manager's registry.
+  return ClusterGraph(
+      [this](const void* addr) { return dm_.buffer_size(addr); });
+}
+
+void Runtime::enter_data(void* host, std::size_t size, bool copy) {
+  dm_.register_buffer(host, size);
+  ClusterTask t;
+  t.type = TaskType::DataEnter;
+  t.buffer = host;
+  t.copy = copy;
+  // Listing 1: enter data carries depend(out: *A) — it is the first writer.
+  t.deps = {omp::out(host)};
+  graph_.add_task(std::move(t));
+  ++stats_.data_tasks;
+}
+
+void Runtime::exit_data(void* host, bool copy) {
+  OMPC_CHECK_MSG(dm_.is_registered(host),
+                 "exit_data for buffer " << host << " that was never entered");
+  ClusterTask t;
+  t.type = TaskType::DataExit;
+  t.buffer = host;
+  t.copy = copy;
+  // inout: runs after the last writer and all readers of the buffer.
+  t.deps = {omp::inout(host)};
+  graph_.add_task(std::move(t));
+  ++stats_.data_tasks;
+}
+
+int Runtime::target(omp::DepList deps, offload::KernelId kernel, Args args,
+                    double cost_s) {
+  // §4.3's restriction: every buffer a target uses must appear in its
+  // dependence list — that is the only way the DM can infer placement and
+  // write intent. Enforced here instead of failing mysteriously later.
+  for (const void* b : args.buffers()) {
+    const bool listed = std::any_of(deps.begin(), deps.end(),
+                                    [&](const omp::Dep& d) { return d.addr == b; });
+    OMPC_CHECK_MSG(listed, "target buffer argument " << b
+                                                     << " missing from depend list");
+    OMPC_CHECK_MSG(dm_.is_registered(b),
+                   "target buffer argument " << b << " was never entered");
+  }
+  ClusterTask t;
+  t.type = TaskType::Target;
+  t.kernel = kernel;
+  t.buffer_args = args.buffers();
+  t.scalars = args.take_scalars();
+  t.deps = std::move(deps);
+  t.cost_s = cost_s;
+  const int id = graph_.add_task(std::move(t));
+  ++stats_.target_tasks;
+  return id;
+}
+
+int Runtime::host_task(std::function<void()> fn, omp::DepList deps) {
+  ClusterTask t;
+  t.type = TaskType::Host;
+  t.host_fn = std::move(fn);
+  t.deps = std::move(deps);
+  const int id = graph_.add_task(std::move(t));
+  ++stats_.host_tasks;
+  return id;
+}
+
+void Runtime::execute_task(const ClusterTask& t, int proc) {
+  switch (t.type) {
+    case TaskType::DataEnter:
+      dm_.enter_to_worker(rank_of_proc(proc), t.buffer, t.copy);
+      return;
+    case TaskType::DataExit:
+      dm_.exit_to_head(const_cast<void*>(t.buffer), t.copy);
+      return;
+    case TaskType::Host:
+      t.host_fn();
+      return;
+    case TaskType::Target: {
+      const mpi::Rank worker = rank_of_proc(proc);
+      // §4.3 target-region rule: make inputs valid on the assigned worker
+      // (allocating/forwarding as needed), run, then invalidate replicas
+      // of written buffers.
+      const std::vector<offload::TargetPtr> addrs =
+          dm_.prepare_args(worker, t.buffer_args);
+      ExecuteHeader h;
+      h.kernel = t.kernel;
+      h.buffers = addrs;
+      h.scalars = t.scalars;
+      events_.run(worker, EventKind::Execute, h.serialize());
+      dm_.after_write(worker, t.deps);
+      return;
+    }
+  }
+}
+
+void Runtime::dispatch(const ScheduleResult& sched) {
+  const std::size_t n = graph_.size();
+  if (n == 0) return;
+
+  // Dependence-driven execution with a bounded helper pool. Each helper
+  // models one LLVM hidden-helper thread: it stays blocked inside
+  // execute_task() for the whole life of an in-flight target region, so
+  // `helpers` bounds in-flight regions exactly as §7 describes.
+  std::vector<int> indegree(n, 0);
+  for (const ClusterTask& t : graph_.tasks())
+    indegree[static_cast<std::size_t>(t.id)] =
+        static_cast<int>(t.preds.size());
+
+  std::mutex mutex;
+  std::condition_variable cv;
+  std::deque<int> ready;
+  std::size_t done = 0;
+  std::exception_ptr first_error;
+
+  for (const ClusterTask& t : graph_.tasks()) {
+    if (t.preds.empty()) ready.push_back(t.id);
+  }
+
+  // HelperThreads: the LLVM bound — in-flight regions <= head threads.
+  // TwoStep: the §7 fix decouples in-flight regions from head cores; its
+  // pool scales with the *cluster* (enough to saturate every worker's
+  // executor and transfer pipeline) instead of the head's thread count.
+  int helpers = opts_.async_mode == AsyncMode::HelperThreads
+                    ? opts_.helper_threads
+                    : 16 + 3 * opts_.num_workers;
+  helpers = std::max(1, std::min<int>(helpers, static_cast<int>(n)));
+
+  auto helper_loop = [&] {
+    std::unique_lock<std::mutex> lock(mutex);
+    for (;;) {
+      cv.wait(lock, [&] {
+        return !ready.empty() || done == n || first_error != nullptr;
+      });
+      if ((done == n && ready.empty()) || first_error != nullptr) return;
+      if (ready.empty()) continue;
+      const int id = ready.front();
+      ready.pop_front();
+      lock.unlock();
+
+      const ClusterTask& t = graph_.task(id);
+      try {
+        execute_task(t, sched.processor[static_cast<std::size_t>(id)]);
+      } catch (...) {
+        lock.lock();
+        if (!first_error) first_error = std::current_exception();
+        cv.notify_all();
+        return;
+      }
+
+      lock.lock();
+      ++done;
+      for (int s : t.succs) {
+        if (--indegree[static_cast<std::size_t>(s)] == 0) ready.push_back(s);
+      }
+      cv.notify_all();
+    }
+  };
+
+  std::vector<std::thread> pool;
+  pool.reserve(static_cast<std::size_t>(helpers));
+  for (int i = 0; i < helpers; ++i) {
+    pool.emplace_back([&, i] {
+      log::set_thread_label("hh" + std::to_string(i));
+      helper_loop();
+    });
+  }
+  for (auto& th : pool) th.join();
+  if (first_error) std::rethrow_exception(first_error);
+  OMPC_CHECK_MSG(done == n, "dispatch finished with unexecuted tasks");
+}
+
+void Runtime::wait_all() {
+  if (graph_.empty()) return;
+  graph_.build_edges();
+  const ScheduleResult sched =
+      schedule(opts_.scheduler, graph_, opts_.num_workers,
+               CostModel::from_network(opts_.network),
+               opts_.default_task_cost_s, opts_.seed);
+  stats_.schedule_ns += sched.schedule_ns;
+  stats_.makespan_estimate_s = sched.makespan_estimate_s;
+  last_ = sched;
+
+  dispatch(sched);
+
+  ++stats_.waves;
+  graph_ = fresh_graph();
+}
+
+RuntimeStats launch(const ClusterOptions& opts,
+                    const std::function<void(Runtime&)>& head_main) {
+  const Stopwatch wall;
+  RuntimeStats stats;
+
+  mpi::UniverseOptions uopts;
+  uopts.ranks = opts.ranks();
+  uopts.network = opts.network;
+  uopts.comms = 1 + opts.vci;  // control + data communicators
+  // The control communicator (context 0) must own a hardware channel no
+  // data context aliases onto, or notification latency serializes behind
+  // multi-megabyte payload transfers (contexts stripe channel = ctx % n).
+  uopts.network.channels = std::max(uopts.network.channels, opts.vci + 1);
+
+  mpi::Universe universe(uopts);
+  universe.run([&](mpi::RankContext& ctx) {
+    if (ctx.rank() == 0) {
+      // --- head node ---
+      const Stopwatch startup;
+      EventSystem events(ctx, opts, nullptr, nullptr);
+      stats.startup_ns = startup.elapsed_ns();
+
+      Runtime rt(opts, events);
+      // Any head-side failure must still shut the workers down, or they
+      // would wait for events forever and the join below would hang.
+      std::exception_ptr error;
+      try {
+        head_main(rt);
+        rt.wait_all();  // implicit barrier at the end of the parallel region
+      } catch (...) {
+        error = std::current_exception();
+      }
+
+      const Stopwatch shutdown;
+      if (!error) rt.data_manager().cleanup_all();
+      events.shutdown_cluster();
+      stats.shutdown_ns = shutdown.elapsed_ns();
+      if (error) std::rethrow_exception(error);
+
+      // Merge head-side counters.
+      RuntimeStats& rs = rt.stats();
+      stats.schedule_ns = rs.schedule_ns;
+      stats.waves = rs.waves;
+      stats.target_tasks = rs.target_tasks;
+      stats.data_tasks = rs.data_tasks;
+      stats.host_tasks = rs.host_tasks;
+      stats.makespan_estimate_s = rs.makespan_estimate_s;
+      stats.events_originated = events.stats().originated.load();
+      const DataManagerStats& ds = rt.data_manager().stats();
+      stats.submits = ds.submits.load();
+      stats.retrieves = ds.retrieves.load();
+      stats.exchanges = ds.exchanges.load();
+      stats.bytes_moved = ds.bytes_moved.load();
+    } else {
+      // --- worker node ---
+      WorkerMemory memory;
+      omp::TaskRuntime exec_pool(opts.worker_threads);
+      EventSystem events(ctx, opts, &memory, &exec_pool);
+      events.wait_until_stopped();
+    }
+  });
+
+  stats.messages_sent = universe.messages_sent();
+  stats.wall_ns = wall.elapsed_ns();
+  return stats;
+}
+
+}  // namespace ompc::core

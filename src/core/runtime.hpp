@@ -1,0 +1,135 @@
+// The OMPC runtime facade — the user-visible programming model.
+//
+// This is the C++-API equivalent of the paper's pragma surface (Listing 1):
+//
+//   #pragma omp target enter data map(to: A[:N]) nowait depend(out: *A)
+//     -> rt.enter_data(A, N * sizeof *A);
+//   #pragma omp target nowait depend(inout: *A)   { foo(A); }
+//     -> rt.target({omp::inout(A)}, foo_kernel_id, Args().buf(A));
+//   #pragma omp target exit data map(from: A[:N]) nowait depend(inout: *A)
+//     -> rt.exit_data(A);
+//   (implicit barrier at the end of the parallel region)
+//     -> rt.wait_all();
+//
+// Execution model (paper §3.1/§4.4): the control thread only *records*
+// tasks; nothing runs until wait_all(), when the whole graph is scheduled
+// with HEFT and dispatched. Under AsyncMode::HelperThreads each in-flight
+// target region occupies one blocked helper thread — LLVM's libomptarget
+// behaviour and the §7 scalability bottleneck; AsyncMode::TwoStep lifts the
+// bound (the paper's proposed fix).
+#pragma once
+
+#include <functional>
+#include <memory>
+
+#include "core/data_manager.hpp"
+#include "core/graph.hpp"
+#include "core/heft.hpp"
+#include "core/options.hpp"
+
+namespace ompc::core {
+
+/// Timing/counter summary of one cluster run, the measurements Fig. 7(a)
+/// reports (startup / schedule / shutdown vs total wall time).
+struct RuntimeStats {
+  std::int64_t startup_ns = 0;   ///< process begin -> gate threads live
+  std::int64_t schedule_ns = 0;  ///< total HEFT time across waves
+  std::int64_t shutdown_ns = 0;  ///< shutdown begin -> universe joined
+  std::int64_t wall_ns = 0;      ///< whole launch()
+
+  std::int64_t waves = 0;
+  std::int64_t target_tasks = 0;
+  std::int64_t data_tasks = 0;
+  std::int64_t host_tasks = 0;
+
+  std::int64_t events_originated = 0;
+  std::int64_t submits = 0;
+  std::int64_t retrieves = 0;
+  std::int64_t exchanges = 0;
+  std::int64_t bytes_moved = 0;
+  std::int64_t messages_sent = 0;
+  double makespan_estimate_s = 0.0;  ///< HEFT's prediction (last wave)
+};
+
+/// Builder for a target region's positional arguments: device buffers
+/// (referenced by their host pointer) and serialized firstprivate scalars.
+class Args {
+ public:
+  Args& buf(const void* host) {
+    buffers_.push_back(host);
+    return *this;
+  }
+  template <typename T>
+    requires std::is_trivially_copyable_v<T>
+  Args& scalar(const T& v) {
+    scalars_.put(v);
+    return *this;
+  }
+
+  const std::vector<const void*>& buffers() const noexcept { return buffers_; }
+  Bytes take_scalars() { return scalars_.take(); }
+
+ private:
+  std::vector<const void*> buffers_;
+  ArchiveWriter scalars_;
+};
+
+class Runtime {
+ public:
+  /// Constructed by launch() on the head rank; user code receives it in
+  /// the head_main callback. All methods are head-control-thread-only.
+  Runtime(const ClusterOptions& opts, EventSystem& events);
+  ~Runtime();
+
+  // --- recording API ----------------------------------------------------
+
+  /// `target enter data nowait map(to:)` (copy=false: map(alloc:)).
+  void enter_data(void* host, std::size_t size, bool copy = true);
+
+  /// `target exit data nowait map(from:)` (copy=false: map(release:)).
+  void exit_data(void* host, bool copy = true);
+
+  /// `target nowait depend(...)`: records a kernel launch. Every buffer in
+  /// `args` must appear in `deps` (§4.3's documented restriction: the DM
+  /// infers placement and write-intent from the dependence list).
+  /// `cost_s` is the scheduler's compute estimate (0 = options default).
+  int target(omp::DepList deps, offload::KernelId kernel, Args args,
+             double cost_s = 0.0);
+
+  /// A classical `task` — always executed on the head node (§4.4).
+  int host_task(std::function<void()> fn, omp::DepList deps = {});
+
+  /// The implicit barrier: schedules the recorded graph (HEFT), executes
+  /// it across the cluster and returns when every task has completed.
+  void wait_all();
+
+  // --- introspection ----------------------------------------------------
+
+  int num_workers() const noexcept { return opts_.num_workers; }
+  const ClusterOptions& options() const noexcept { return opts_; }
+  DataManager& data_manager() noexcept { return dm_; }
+  RuntimeStats& stats() noexcept { return stats_; }
+
+  /// The worker assignment chosen for the most recent wave (test hook).
+  const ScheduleResult& last_schedule() const noexcept { return last_; }
+
+ private:
+  void execute_task(const ClusterTask& t, int proc);
+  void dispatch(const ScheduleResult& sched);
+  ClusterGraph fresh_graph() const;
+
+  const ClusterOptions opts_;
+  EventSystem& events_;
+  DataManager dm_;
+  ClusterGraph graph_;
+  ScheduleResult last_;
+  RuntimeStats stats_;
+};
+
+/// Runs `head_main` on the head rank of a freshly simulated cluster:
+/// workers boot their event systems, the head records and executes waves,
+/// then the cluster is shut down. Returns the head's runtime statistics.
+RuntimeStats launch(const ClusterOptions& opts,
+                    const std::function<void(Runtime&)>& head_main);
+
+}  // namespace ompc::core

@@ -1,0 +1,71 @@
+// Communicator view: the per-rank handle used for all point-to-point and
+// collective operations (like an MPI_Comm bound to the calling rank).
+//
+// All byte-oriented (untyped) like MPI_BYTE traffic; structured payloads go
+// through common/serialize.hpp. Fully thread-safe for point-to-point use
+// (MPI_THREAD_MULTIPLE); collectives must be called by one thread per rank
+// at a time, as in MPI.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <span>
+
+#include "common/serialize.hpp"
+#include "minimpi/request.hpp"
+#include "minimpi/types.hpp"
+
+namespace ompc::mpi {
+
+class Universe;
+
+class Comm {
+ public:
+  Comm() = default;
+  Comm(Universe* universe, ContextId context, Rank rank)
+      : universe_(universe), context_(context), rank_(rank) {}
+
+  Rank rank() const noexcept { return rank_; }
+  int size() const noexcept;
+  ContextId context() const noexcept { return context_; }
+  Universe& universe() const noexcept { return *universe_; }
+
+  /// A new communicator over the same ranks with a fresh context
+  /// (like MPI_Comm_dup): traffic on it can never match traffic here.
+  Comm dup() const;
+
+  // --- point to point ------------------------------------------------
+
+  void send(const void* buf, std::size_t n, Rank dst, Tag tag) const;
+  Request isend(const void* buf, std::size_t n, Rank dst, Tag tag) const;
+  /// Zero-copy variant: the payload is moved onto the wire.
+  Request isend_bytes(Bytes payload, Rank dst, Tag tag) const;
+
+  Status recv(void* buf, std::size_t capacity, Rank src, Tag tag) const;
+  Request irecv(void* buf, std::size_t capacity, Rank src, Tag tag) const;
+
+  /// Receives a message of unknown size: probes for its extent, then
+  /// receives exactly that message (safe because probe+recv use the exact
+  /// source/tag from the probed status).
+  Bytes recv_bytes(Rank src, Tag tag, Status* status_out = nullptr) const;
+
+  std::optional<Status> iprobe(Rank src, Tag tag) const;
+  Status probe(Rank src, Tag tag) const;
+
+  // --- collectives (reserved tag space; one at a time per comm) -------
+
+  void barrier() const;
+  void bcast(void* buf, std::size_t n, Rank root) const;
+  /// Gathers per-rank blobs at `root`; result[r] is rank r's blob (empty
+  /// vector on non-root ranks).
+  std::vector<Bytes> gather_bytes(std::span<const std::byte> mine,
+                                  Rank root) const;
+  std::uint64_t allreduce_sum(std::uint64_t value) const;
+
+ private:
+  Universe* universe_ = nullptr;
+  ContextId context_ = 0;
+  Rank rank_ = 0;
+};
+
+}  // namespace ompc::mpi

@@ -1,0 +1,23 @@
+// Wire representation of one point-to-point message.
+#pragma once
+
+#include <cstdint>
+
+#include "common/serialize.hpp"
+#include "minimpi/types.hpp"
+
+namespace ompc::mpi {
+
+/// A message in flight: envelope metadata plus an owned payload copy.
+/// Payloads are copied on send (eager protocol) so the sender's buffer is
+/// immediately reusable, matching buffered-send semantics.
+struct Envelope {
+  Rank src = 0;
+  Rank dst = 0;
+  Tag tag = 0;
+  ContextId context = 0;
+  int channel = 0;      ///< Link channel (context striped over VCIs).
+  Bytes payload;
+};
+
+}  // namespace ompc::mpi

@@ -1,0 +1,10 @@
+// Umbrella header for the minimpi substrate.
+#pragma once
+
+#include "minimpi/comm.hpp"      // IWYU pragma: export
+#include "minimpi/mailbox.hpp"   // IWYU pragma: export
+#include "minimpi/message.hpp"   // IWYU pragma: export
+#include "minimpi/network.hpp"   // IWYU pragma: export
+#include "minimpi/request.hpp"   // IWYU pragma: export
+#include "minimpi/types.hpp"     // IWYU pragma: export
+#include "minimpi/universe.hpp"  // IWYU pragma: export

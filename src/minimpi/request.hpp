@@ -1,0 +1,89 @@
+// Nonblocking-operation handles (like MPI_Request).
+//
+// A Request is a shared handle onto the operation's completion state. Send
+// requests complete at submission (eager protocol copies the payload);
+// receive requests complete when the matching engine fills the buffer.
+#pragma once
+
+#include <condition_variable>
+#include <memory>
+#include <mutex>
+#include <span>
+#include <vector>
+
+#include "minimpi/types.hpp"
+
+namespace ompc::mpi {
+
+namespace detail {
+
+/// Shared completion state. The matching engine fills `status` and flips
+/// `done` under `mutex`; waiters block on `cv`.
+struct RequestState {
+  std::mutex mutex;
+  std::condition_variable cv;
+  bool done = false;
+  Status status;
+
+  // Receive-side destination; unused (empty) for send requests.
+  std::byte* buffer = nullptr;
+  std::size_t capacity = 0;
+
+  // Matching criteria for pending receives (needed for cancellation-free
+  // bookkeeping and debug dumps).
+  Rank source = kAnySource;
+  Tag tag = kAnyTag;
+  ContextId context = 0;
+
+  void complete(const Status& st) {
+    {
+      std::lock_guard<std::mutex> lock(mutex);
+      status = st;
+      done = true;
+    }
+    cv.notify_all();
+  }
+};
+
+}  // namespace detail
+
+/// Handle to a nonblocking operation. Copyable; all copies refer to the
+/// same operation.
+class Request {
+ public:
+  Request() = default;
+  explicit Request(std::shared_ptr<detail::RequestState> state)
+      : state_(std::move(state)) {}
+
+  bool valid() const noexcept { return state_ != nullptr; }
+
+  /// Blocks until the operation completes; returns its Status.
+  Status wait() {
+    std::unique_lock<std::mutex> lock(state_->mutex);
+    state_->cv.wait(lock, [&] { return state_->done; });
+    return state_->status;
+  }
+
+  /// Nonblocking completion check; fills `out` when complete.
+  bool test(Status* out = nullptr) {
+    std::lock_guard<std::mutex> lock(state_->mutex);
+    if (!state_->done) return false;
+    if (out != nullptr) *out = state_->status;
+    return true;
+  }
+
+  std::shared_ptr<detail::RequestState> state() const { return state_; }
+
+ private:
+  std::shared_ptr<detail::RequestState> state_;
+};
+
+/// Waits for every request in `reqs` (like MPI_Waitall).
+inline void wait_all(std::span<Request> reqs) {
+  for (auto& r : reqs) r.wait();
+}
+inline void wait_all(std::vector<Request>& reqs) {
+  wait_all(std::span<Request>(reqs));
+}
+
+}  // namespace ompc::mpi

@@ -1,0 +1,39 @@
+// Core identifiers and constants for the minimpi message-passing substrate.
+//
+// minimpi reproduces the MPI semantics OMPC depends on (DESIGN.md §2):
+// ranks, tags, communicator contexts, wildcard matching and non-overtaking
+// delivery within a communicator. Ranks are threads of one process; the
+// "wire" is the simulated network in network.hpp.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+namespace ompc::mpi {
+
+using Rank = int;
+using Tag = int;
+
+/// Matches messages from any source (like MPI_ANY_SOURCE).
+inline constexpr Rank kAnySource = -1;
+/// Matches messages with any tag (like MPI_ANY_TAG).
+inline constexpr Tag kAnyTag = -1;
+
+/// User tags must stay below this bound; the range above is reserved for
+/// internal protocols (collectives), mirroring MPI's MPI_TAG_UB contract.
+inline constexpr Tag kMaxUserTag = (1 << 29) - 1;
+
+/// Reserved tag space for collective operations (barrier/bcast/gather).
+inline constexpr Tag kCollectiveTagBase = 1 << 29;
+
+/// Identifies a communicator; each context is an isolated matching domain.
+using ContextId = int;
+
+/// Receive completion information (like MPI_Status).
+struct Status {
+  Rank source = kAnySource;
+  Tag tag = kAnyTag;
+  std::size_t count = 0;  ///< Payload size in bytes.
+};
+
+}  // namespace ompc::mpi

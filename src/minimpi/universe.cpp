@@ -1,0 +1,94 @@
+#include "minimpi/universe.hpp"
+
+#include <exception>
+#include <string>
+#include <thread>
+
+#include "common/check.hpp"
+#include "common/log.hpp"
+
+namespace ompc::mpi {
+
+int RankContext::num_ranks() const noexcept { return universe_->num_ranks(); }
+
+Comm RankContext::world() const { return universe_->comm(rank_, 0); }
+
+Comm RankContext::comm(int index) const { return universe_->comm(rank_, index); }
+
+Universe::Universe(const UniverseOptions& opts)
+    : opts_(opts), next_context_(opts.comms) {
+  OMPC_CHECK_MSG(opts_.ranks >= 1, "universe needs at least one rank");
+  OMPC_CHECK_MSG(opts_.comms >= 1, "universe needs at least one communicator");
+  OMPC_CHECK_MSG(opts_.network.channels >= 1, "network needs >= 1 channel");
+  mailboxes_.reserve(static_cast<std::size_t>(opts_.ranks));
+  for (int r = 0; r < opts_.ranks; ++r)
+    mailboxes_.push_back(std::make_unique<Mailbox>());
+  if (!opts_.network.is_instant()) {
+    engine_ = std::make_unique<DeliveryEngine>(
+        opts_.network,
+        [this](Envelope&& env) { mailbox(env.dst).deliver(std::move(env)); });
+  }
+}
+
+Universe::~Universe() = default;
+
+void Universe::run(const std::function<void(RankContext&)>& rank_main) {
+  const int n = opts_.ranks;
+  std::vector<std::exception_ptr> errors(static_cast<std::size_t>(n));
+  std::vector<std::thread> threads;
+  threads.reserve(static_cast<std::size_t>(n));
+
+  for (int r = 0; r < n; ++r) {
+    threads.emplace_back([this, r, &rank_main, &errors] {
+      log::set_thread_label("r" + std::to_string(r));
+      RankContext ctx(*this, r);
+      try {
+        rank_main(ctx);
+      } catch (...) {
+        errors[static_cast<std::size_t>(r)] = std::current_exception();
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  for (auto& e : errors) {
+    if (e) std::rethrow_exception(e);
+  }
+}
+
+void Universe::launch(const UniverseOptions& opts,
+                      const std::function<void(RankContext&)>& rank_main) {
+  Universe u(opts);
+  u.run(rank_main);
+}
+
+Comm Universe::comm(Rank rank, int index) {
+  OMPC_CHECK(rank >= 0 && rank < opts_.ranks);
+  OMPC_CHECK_MSG(index >= 0 && index < opts_.comms,
+                 "communicator index " << index << " out of range (comms="
+                                       << opts_.comms << ')');
+  return Comm(this, index, rank);
+}
+
+ContextId Universe::allocate_context() {
+  return next_context_.fetch_add(1, std::memory_order_relaxed);
+}
+
+void Universe::post(Envelope&& env) {
+  OMPC_CHECK(env.dst >= 0 && env.dst < opts_.ranks);
+  messages_sent_.fetch_add(1, std::memory_order_relaxed);
+  env.channel = env.context % opts_.network.channels;
+  // Self-sends never cross the NIC: deliver through the local queue at
+  // memory speed (what every MPI implementation and Charm++'s local-message
+  // path do).
+  if (engine_ && env.src != env.dst) {
+    engine_->submit(std::move(env));
+  } else {
+    mailbox(env.dst).deliver(std::move(env));
+  }
+}
+
+Mailbox& Universe::mailbox(Rank rank) {
+  return *mailboxes_[static_cast<std::size_t>(rank)];
+}
+
+}  // namespace ompc::mpi

@@ -1,0 +1,89 @@
+// The Universe owns the simulated cluster: one mailbox per rank, the
+// delivery engine, and the communicator context allocator. Universe::run
+// spawns one thread per rank (DESIGN.md decision 1: ranks are threads whose
+// address spaces are separated by discipline — all inter-rank data flows
+// through messages).
+#pragma once
+
+#include <atomic>
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "minimpi/comm.hpp"
+#include "minimpi/mailbox.hpp"
+#include "minimpi/network.hpp"
+
+namespace ompc::mpi {
+
+struct UniverseOptions {
+  int ranks = 2;
+  NetworkModel network{};
+  /// Number of pre-created communicator contexts (the paper's event system
+  /// round-robins events over these; see Comm selection in src/core).
+  int comms = 1;
+};
+
+/// Per-rank execution context handed to the rank main function.
+class RankContext {
+ public:
+  RankContext(Universe& universe, Rank rank)
+      : universe_(&universe), rank_(rank) {}
+
+  Rank rank() const noexcept { return rank_; }
+  int num_ranks() const noexcept;
+  Universe& universe() const noexcept { return *universe_; }
+
+  /// The world communicator (context 0).
+  Comm world() const;
+  /// One of the pre-created communicators, index in [0, options().comms).
+  Comm comm(int index) const;
+
+ private:
+  Universe* universe_;
+  Rank rank_;
+};
+
+class Universe {
+ public:
+  explicit Universe(const UniverseOptions& opts);
+  ~Universe();
+
+  Universe(const Universe&) = delete;
+  Universe& operator=(const Universe&) = delete;
+
+  /// Runs `rank_main` on every rank (one thread each), joins them all, and
+  /// rethrows the first rank exception (by rank order) if any.
+  void run(const std::function<void(RankContext&)>& rank_main);
+
+  /// Convenience: construct + run.
+  static void launch(const UniverseOptions& opts,
+                     const std::function<void(RankContext&)>& rank_main);
+
+  const UniverseOptions& options() const noexcept { return opts_; }
+  int num_ranks() const noexcept { return opts_.ranks; }
+
+  /// Communicator view for `rank` on pre-created context `index`.
+  Comm comm(Rank rank, int index = 0);
+
+  /// Allocates a fresh communicator context (Comm::dup).
+  ContextId allocate_context();
+
+  /// Total messages put on the wire (instant + delayed).
+  std::int64_t messages_sent() const noexcept {
+    return messages_sent_.load(std::memory_order_relaxed);
+  }
+
+  // --- internal transport (used by Comm) -------------------------------
+  void post(Envelope&& env);
+  Mailbox& mailbox(Rank rank);
+
+ private:
+  UniverseOptions opts_;
+  std::vector<std::unique_ptr<Mailbox>> mailboxes_;
+  std::unique_ptr<DeliveryEngine> engine_;  ///< Null for an instant network.
+  std::atomic<ContextId> next_context_;
+  std::atomic<std::int64_t> messages_sent_{0};
+};
+
+}  // namespace ompc::mpi

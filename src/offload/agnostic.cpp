@@ -1,0 +1,135 @@
+#include "offload/agnostic.hpp"
+
+#include "common/check.hpp"
+
+namespace ompc::offload {
+
+int OffloadManager::register_plugin(std::shared_ptr<DevicePlugin> plugin) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  const int first = static_cast<int>(devices_.size());
+  const int n = plugin->number_of_devices();
+  for (int i = 0; i < n; ++i) {
+    DeviceSlot d;
+    d.plugin = plugin.get();
+    d.local_id = i;
+    devices_.push_back(std::move(d));
+  }
+  plugins_.push_back(std::move(plugin));
+  return first;
+}
+
+int OffloadManager::num_devices() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return static_cast<int>(devices_.size());
+}
+
+OffloadManager::DeviceSlot& OffloadManager::slot(int device) {
+  OMPC_CHECK_MSG(device >= 0 && device < static_cast<int>(devices_.size()),
+                 "unknown device " << device);
+  return devices_[static_cast<std::size_t>(device)];
+}
+
+const OffloadManager::DeviceSlot& OffloadManager::slot(int device) const {
+  OMPC_CHECK_MSG(device >= 0 && device < static_cast<int>(devices_.size()),
+                 "unknown device " << device);
+  return devices_[static_cast<std::size_t>(device)];
+}
+
+void OffloadManager::begin_one(DeviceSlot& d, const MapClause& m) {
+  const bool copy = m.type == MapType::To || m.type == MapType::ToFrom;
+  if (d.table.contains(m.host)) {
+    d.table.retain(m.host);
+    // Present already: the OpenMP spec skips the copy when the reference
+    // count was not zero (no `always` modifier here).
+    return;
+  }
+  const TargetPtr tgt = d.plugin->data_alloc(d.local_id, m.size);
+  d.table.insert(m.host, m.size, tgt);
+  if (copy) d.plugin->data_submit(d.local_id, tgt, m.host, m.size);
+}
+
+void OffloadManager::end_one(DeviceSlot& d, const MapClause& m) {
+  const bool copy = m.type == MapType::From || m.type == MapType::ToFrom;
+  const MapEntry* e = d.table.find(m.host);
+  OMPC_CHECK_MSG(e != nullptr, "exit data for unmapped pointer " << m.host);
+  if (m.type == MapType::Delete) {
+    // Force the mapping away regardless of the reference count.
+    MapEntry gone = *e;
+    while (d.table.release(m.host) == std::nullopt) {
+    }
+    d.plugin->data_delete(d.local_id, gone.target);
+    return;
+  }
+  if (copy) {
+    d.plugin->data_retrieve(d.local_id, m.host, e->target, e->size);
+  }
+  if (auto gone = d.table.release(m.host)) {
+    d.plugin->data_delete(d.local_id, gone->target);
+  }
+}
+
+void OffloadManager::target_data_begin(int device,
+                                       std::span<const MapClause> maps) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  DeviceSlot& d = slot(device);
+  for (const MapClause& m : maps) begin_one(d, m);
+}
+
+void OffloadManager::target_data_end(int device,
+                                     std::span<const MapClause> maps) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  DeviceSlot& d = slot(device);
+  for (const MapClause& m : maps) end_one(d, m);
+}
+
+void OffloadManager::target_update_to(int device, const void* host,
+                                      std::size_t size) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  DeviceSlot& d = slot(device);
+  const TargetPtr tgt = d.table.translate(host);
+  OMPC_CHECK_MSG(tgt != kNullTargetPtr, "update of unmapped pointer " << host);
+  d.plugin->data_submit(d.local_id, tgt, host, size);
+}
+
+void OffloadManager::target_update_from(int device, void* host,
+                                        std::size_t size) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  DeviceSlot& d = slot(device);
+  const TargetPtr tgt = d.table.translate(host);
+  OMPC_CHECK_MSG(tgt != kNullTargetPtr, "update of unmapped pointer " << host);
+  d.plugin->data_retrieve(d.local_id, host, tgt, size);
+}
+
+void OffloadManager::target(int device, KernelId kernel,
+                            std::span<const MapClause> maps,
+                            std::span<void* const> buffer_args,
+                            Bytes scalars) {
+  target_data_begin(device, maps);
+  std::vector<TargetPtr> args;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    DeviceSlot& d = slot(device);
+    args.reserve(buffer_args.size());
+    for (void* host : buffer_args) {
+      const TargetPtr tgt = d.table.translate(host);
+      OMPC_CHECK_MSG(tgt != kNullTargetPtr,
+                     "target argument " << host << " is not mapped");
+      args.push_back(tgt);
+    }
+  }
+  DeviceSlot& d = slot(device);
+  d.plugin->run_target_region(d.local_id, kernel, args, scalars);
+  target_data_end(device, maps);
+}
+
+TargetPtr OffloadManager::translate(int device, const void* host) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return slot(device).table.translate(host);
+}
+
+std::size_t OffloadManager::mapped_entries(int device) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return slot(device).table.size();
+}
+
+}  // namespace ompc::offload

@@ -1,0 +1,100 @@
+// Device-agnostic offloading layer (libomptarget's middle layer, Figure 2).
+//
+// Exposes the OpenMP accelerator-model operations the compiler would emit —
+// `target enter data`, `target exit data`, `target update`, `target` — over
+// any registered plugin, maintaining the host<->target mapping tables and
+// reference counts. This is the single-device path; the OMPC runtime
+// (src/core) layers cluster-wide data management and scheduling on top of
+// the same plugin interface.
+#pragma once
+
+#include <memory>
+#include <mutex>
+#include <span>
+#include <vector>
+
+#include "offload/mapping.hpp"
+#include "offload/plugin.hpp"
+
+namespace ompc::offload {
+
+/// Direction of a map clause, matching the OpenMP map types used in the
+/// paper's Listing 1.
+enum class MapType {
+  To,       ///< map(to:)      — allocate on 0->1, copy host->device
+  From,     ///< map(from:)    — copy device->host on 1->0, deallocate
+  ToFrom,   ///< map(tofrom:)  — both
+  Alloc,    ///< map(alloc:)   — allocate only
+  Release,  ///< map(release:) — drop one reference, no copy
+  Delete,   ///< map(delete:)  — force the mapping away regardless of count
+};
+
+struct MapClause {
+  void* host = nullptr;
+  std::size_t size = 0;
+  MapType type = MapType::To;
+};
+
+inline MapClause map_to(void* p, std::size_t n) { return {p, n, MapType::To}; }
+inline MapClause map_from(void* p, std::size_t n) {
+  return {p, n, MapType::From};
+}
+inline MapClause map_tofrom(void* p, std::size_t n) {
+  return {p, n, MapType::ToFrom};
+}
+inline MapClause map_alloc(void* p, std::size_t n) {
+  return {p, n, MapType::Alloc};
+}
+inline MapClause map_release(void* p, std::size_t n) {
+  return {p, n, MapType::Release};
+}
+
+class OffloadManager {
+ public:
+  /// Registers a plugin; its devices are appended to the global device
+  /// numbering. Returns the first global id assigned.
+  int register_plugin(std::shared_ptr<DevicePlugin> plugin);
+
+  int num_devices() const;
+
+  /// `target enter data map(...)` on `device`.
+  void target_data_begin(int device, std::span<const MapClause> maps);
+  /// `target exit data map(...)` on `device`.
+  void target_data_end(int device, std::span<const MapClause> maps);
+
+  /// `target update to/from(...)` — explicit refresh of a live mapping.
+  void target_update_to(int device, const void* host, std::size_t size);
+  void target_update_from(int device, void* host, std::size_t size);
+
+  /// `target` region: maps in `maps` (begin before, end after, like an
+  /// implicit data environment), translates `buffer_args` host pointers to
+  /// device addresses and runs the kernel.
+  void target(int device, KernelId kernel,
+              std::span<const MapClause> maps,
+              std::span<void* const> buffer_args, Bytes scalars = {});
+
+  /// Device address of a mapped host pointer (0 when unmapped).
+  TargetPtr translate(int device, const void* host) const;
+
+  /// Mapped-entry count on a device (test hook).
+  std::size_t mapped_entries(int device) const;
+
+ private:
+  struct DeviceSlot {
+    DevicePlugin* plugin = nullptr;
+    int local_id = 0;
+    MappingTable table;
+  };
+
+  DeviceSlot& slot(int device);
+  const DeviceSlot& slot(int device) const;
+
+  void begin_one(DeviceSlot& d, const MapClause& m);
+  void end_one(DeviceSlot& d, const MapClause& m);
+
+  mutable std::mutex mutex_;
+  std::vector<std::shared_ptr<DevicePlugin>> plugins_;
+  std::vector<DeviceSlot> devices_;
+};
+
+}  // namespace ompc::offload

@@ -1,0 +1,79 @@
+#include "offload/host_plugin.hpp"
+
+#include <cstdlib>
+#include <cstring>
+
+#include "common/check.hpp"
+#include "omptask/runtime.hpp"
+
+namespace ompc::offload {
+
+HostPlugin::HostPlugin(int pool_threads) {
+  if (pool_threads > 0)
+    pool_ = std::make_unique<omp::TaskRuntime>(pool_threads);
+}
+
+HostPlugin::~HostPlugin() {
+  // Free anything the user leaked through unbalanced enter/exit data; the
+  // tests assert live_allocations() == 0 so leaks still surface.
+  std::lock_guard<std::mutex> lock(mutex_);
+  for (TargetPtr p : live_) std::free(reinterpret_cast<void*>(p));
+}
+
+TargetPtr HostPlugin::data_alloc(int device, std::size_t size) {
+  OMPC_CHECK(device == 0);
+  void* p = std::malloc(size == 0 ? 1 : size);
+  OMPC_CHECK_MSG(p != nullptr, "host plugin allocation of " << size
+                                                            << " bytes failed");
+  const auto tp = reinterpret_cast<TargetPtr>(p);
+  std::lock_guard<std::mutex> lock(mutex_);
+  live_.insert(tp);
+  return tp;
+}
+
+void HostPlugin::data_delete(int device, TargetPtr ptr) {
+  OMPC_CHECK(device == 0);
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    OMPC_CHECK_MSG(live_.erase(ptr) == 1, "double free of device ptr " << ptr);
+  }
+  std::free(reinterpret_cast<void*>(ptr));
+}
+
+void HostPlugin::data_submit(int device, TargetPtr dst, const void* src,
+                             std::size_t size) {
+  OMPC_CHECK(device == 0);
+  std::memcpy(reinterpret_cast<void*>(dst), src, size);
+}
+
+void HostPlugin::data_retrieve(int device, void* dst, TargetPtr src,
+                               std::size_t size) {
+  OMPC_CHECK(device == 0);
+  std::memcpy(dst, reinterpret_cast<void*>(src), size);
+}
+
+bool HostPlugin::data_exchange(int src_device, TargetPtr src, int dst_device,
+                               TargetPtr dst, std::size_t size) {
+  OMPC_CHECK(src_device == 0 && dst_device == 0);
+  std::memmove(reinterpret_cast<void*>(dst), reinterpret_cast<void*>(src),
+               size);
+  return true;
+}
+
+void HostPlugin::run_target_region(int device, KernelId kernel,
+                                   const std::vector<TargetPtr>& buffers,
+                                   const Bytes& scalars) {
+  OMPC_CHECK(device == 0);
+  std::vector<void*> ptrs;
+  ptrs.reserve(buffers.size());
+  for (TargetPtr p : buffers) ptrs.push_back(reinterpret_cast<void*>(p));
+  KernelContext ctx(ptrs, scalars, pool_.get(), device);
+  KernelRegistry::instance().run(kernel, ctx);
+}
+
+std::size_t HostPlugin::live_allocations() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return live_.size();
+}
+
+}  // namespace ompc::offload

@@ -1,0 +1,52 @@
+// Host-fallback device plugin.
+//
+// Mirrors libomptarget's behaviour when no accelerator exists: the "device"
+// is the host itself, allocations are heap blocks, transfers are memcpys
+// and kernels run inline on the calling thread (optionally with a local
+// thread pool for KernelContext::parallel_for). Used directly by tests and
+// as the single-node fallback of the agnostic layer.
+#pragma once
+
+#include <memory>
+#include <mutex>
+#include <unordered_set>
+
+#include "offload/plugin.hpp"
+
+namespace ompc::omp {
+class TaskRuntime;
+}
+
+namespace ompc::offload {
+
+class HostPlugin final : public DevicePlugin {
+ public:
+  /// `pool_threads` > 0 gives kernels a parallel_for pool.
+  explicit HostPlugin(int pool_threads = 0);
+  ~HostPlugin() override;
+
+  std::string name() const override { return "host"; }
+  int number_of_devices() const override { return 1; }
+
+  TargetPtr data_alloc(int device, std::size_t size) override;
+  void data_delete(int device, TargetPtr ptr) override;
+  void data_submit(int device, TargetPtr dst, const void* src,
+                   std::size_t size) override;
+  void data_retrieve(int device, void* dst, TargetPtr src,
+                     std::size_t size) override;
+  bool data_exchange(int src_device, TargetPtr src, int dst_device,
+                     TargetPtr dst, std::size_t size) override;
+  void run_target_region(int device, KernelId kernel,
+                         const std::vector<TargetPtr>& buffers,
+                         const Bytes& scalars) override;
+
+  /// Outstanding (undeleted) allocations — leak check hook for tests.
+  std::size_t live_allocations() const;
+
+ private:
+  std::unique_ptr<omp::TaskRuntime> pool_;
+  mutable std::mutex mutex_;
+  std::unordered_set<TargetPtr> live_;
+};
+
+}  // namespace ompc::offload

@@ -1,0 +1,61 @@
+#include "offload/kernel_registry.hpp"
+
+#include "common/check.hpp"
+#include "omptask/runtime.hpp"
+
+namespace ompc::offload {
+
+void KernelContext::parallel_for(
+    std::int64_t begin, std::int64_t end, std::int64_t grain,
+    const std::function<void(std::int64_t, std::int64_t)>& body) const {
+  if (pool_ != nullptr) {
+    pool_->parallel_for(begin, end, grain, body);
+  } else {
+    if (begin < end) body(begin, end);
+  }
+}
+
+KernelRegistry& KernelRegistry::instance() {
+  static KernelRegistry registry;
+  return registry;
+}
+
+KernelId KernelRegistry::register_kernel(const std::string& name,
+                                         KernelFn fn) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  for (std::size_t i = 0; i < kernels_.size(); ++i) {
+    if (kernels_[i].first == name) {
+      kernels_[i].second = std::move(fn);
+      return static_cast<KernelId>(i + 1);
+    }
+  }
+  kernels_.emplace_back(name, std::move(fn));
+  return static_cast<KernelId>(kernels_.size());
+}
+
+KernelId KernelRegistry::lookup(const std::string& name) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  for (std::size_t i = 0; i < kernels_.size(); ++i) {
+    if (kernels_[i].first == name) return static_cast<KernelId>(i + 1);
+  }
+  return kInvalidKernel;
+}
+
+const std::string& KernelRegistry::name_of(KernelId id) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  OMPC_CHECK_MSG(id >= 1 && id <= kernels_.size(), "unknown kernel id " << id);
+  return kernels_[id - 1].first;
+}
+
+void KernelRegistry::run(KernelId id, KernelContext& ctx) const {
+  KernelFn fn;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    OMPC_CHECK_MSG(id >= 1 && id <= kernels_.size(),
+                   "unknown kernel id " << id);
+    fn = kernels_[id - 1].second;
+  }
+  fn(ctx);  // user code outside the lock
+}
+
+}  // namespace ompc::offload

@@ -1,0 +1,89 @@
+// Kernel registry: the stand-in for the compiler's fat binary.
+//
+// Clang embeds device code in the host image and libomptarget looks entry
+// points up by name; here all ranks share one process image, so a kernel is
+// a function registered under a stable id. An execute event ships only the
+// kernel id plus argument metadata — never code — exactly like the real
+// runtime ships an entry-point index.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <mutex>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "common/serialize.hpp"
+
+namespace ompc::omp {
+class TaskRuntime;
+}
+
+namespace ompc::offload {
+
+using KernelId = std::uint32_t;
+
+inline constexpr KernelId kInvalidKernel = 0;
+
+/// Execution context handed to a kernel body on the executing device.
+class KernelContext {
+ public:
+  KernelContext(std::span<void* const> buffers, std::span<const std::byte> scalars,
+                omp::TaskRuntime* pool, int device)
+      : buffers_(buffers), scalars_(scalars), pool_(pool), device_(device) {}
+
+  /// Positional buffer argument, typed view (device-local memory).
+  template <typename T>
+  T* buffer(std::size_t index) const {
+    return static_cast<T*>(buffers_[index]);
+  }
+  std::size_t num_buffers() const noexcept { return buffers_.size(); }
+
+  /// Reader over the serialized firstprivate scalars, in push order.
+  ArchiveReader scalars() const { return ArchiveReader(scalars_); }
+
+  int device() const noexcept { return device_; }
+
+  /// Second level of parallelism inside the node (§3.1): chunked loop over
+  /// the device's local thread pool, or serial when the device has none.
+  void parallel_for(std::int64_t begin, std::int64_t end, std::int64_t grain,
+                    const std::function<void(std::int64_t, std::int64_t)>& body) const;
+
+ private:
+  std::span<void* const> buffers_;
+  std::span<const std::byte> scalars_;
+  omp::TaskRuntime* pool_;
+  int device_;
+};
+
+using KernelFn = std::function<void(KernelContext&)>;
+
+/// Process-wide name -> function table. Registration is expected at static
+/// initialization (OMPC_REGISTER_KERNEL) or test setup; lookups are
+/// lock-protected and cheap relative to any offload operation.
+class KernelRegistry {
+ public:
+  static KernelRegistry& instance();
+
+  /// Registers (or replaces) a kernel under `name`; returns its id.
+  KernelId register_kernel(const std::string& name, KernelFn fn);
+
+  KernelId lookup(const std::string& name) const;
+  const std::string& name_of(KernelId id) const;
+
+  /// Invokes kernel `id` with the given context. Throws on unknown id.
+  void run(KernelId id, KernelContext& ctx) const;
+
+ private:
+  KernelRegistry() = default;
+  mutable std::mutex mutex_;
+  std::vector<std::pair<std::string, KernelFn>> kernels_;  // id-1 indexed
+};
+
+/// Registers `fn` under `name` at static-init time and yields its id.
+#define OMPC_REGISTER_KERNEL(name, fn)                                  \
+  const ::ompc::offload::KernelId name##_kernel_id =                    \
+      ::ompc::offload::KernelRegistry::instance().register_kernel(#name, fn)
+
+}  // namespace ompc::offload

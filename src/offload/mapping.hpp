@@ -1,0 +1,102 @@
+// Host <-> target data mapping table (libomptarget's HostDataToTargetMap).
+//
+// The agnostic layer tracks, per device, which host ranges are currently
+// mapped, their device address and a reference count. Ref counting follows
+// the OpenMP spec: `enter data map(to:)` increments (allocating + copying
+// on 0 -> 1), `exit data map(release/from:)` decrements (copying back /
+// deallocating on 1 -> 0), and lookups inside a range resolve to the
+// containing entry.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <optional>
+
+#include "common/check.hpp"
+
+namespace ompc::offload {
+
+struct MapEntry {
+  std::uintptr_t host_begin = 0;
+  std::size_t size = 0;
+  std::uint64_t target = 0;  ///< TargetPtr of the device allocation.
+  int ref_count = 0;
+};
+
+class MappingTable {
+ public:
+  /// Finds the entry whose [host_begin, host_begin+size) contains `host`.
+  const MapEntry* find(const void* host) const {
+    const auto key = reinterpret_cast<std::uintptr_t>(host);
+    auto it = entries_.upper_bound(key);
+    if (it == entries_.begin()) return nullptr;
+    --it;
+    const MapEntry& e = it->second;
+    return (key >= e.host_begin && key < e.host_begin + e.size) ? &e : nullptr;
+  }
+
+  /// Device address corresponding to `host` (offset-adjusted); 0 when the
+  /// pointer is unmapped.
+  std::uint64_t translate(const void* host) const {
+    const MapEntry* e = find(host);
+    if (e == nullptr) return 0;
+    const auto key = reinterpret_cast<std::uintptr_t>(host);
+    return e->target + (key - e->host_begin);
+  }
+
+  bool contains(const void* host) const { return find(host) != nullptr; }
+
+  /// Inserts a fresh mapping with ref_count 1. The range must not overlap
+  /// an existing entry (the OpenMP spec makes overlapping maps UB; we make
+  /// it a hard error).
+  MapEntry& insert(const void* host, std::size_t size, std::uint64_t target) {
+    const auto key = reinterpret_cast<std::uintptr_t>(host);
+    OMPC_CHECK_MSG(!overlaps(key, size),
+                   "overlapping device mapping of " << host);
+    MapEntry e{key, size, target, 1};
+    return entries_.emplace(key, e).first->second;
+  }
+
+  /// Bumps the ref count of the entry containing `host`; returns it.
+  MapEntry& retain(const void* host) {
+    MapEntry* e = find_mutable(host);
+    OMPC_CHECK_MSG(e != nullptr, "retain of unmapped pointer " << host);
+    ++e->ref_count;
+    return *e;
+  }
+
+  /// Drops one reference. Returns the entry *by value* when the count hits
+  /// zero (the caller must free the device memory and the entry is gone);
+  /// nullopt while references remain.
+  std::optional<MapEntry> release(const void* host) {
+    MapEntry* e = find_mutable(host);
+    OMPC_CHECK_MSG(e != nullptr, "release of unmapped pointer " << host);
+    OMPC_CHECK(e->ref_count > 0);
+    if (--e->ref_count > 0) return std::nullopt;
+    MapEntry out = *e;
+    entries_.erase(e->host_begin);
+    return out;
+  }
+
+  std::size_t size() const noexcept { return entries_.size(); }
+  bool empty() const noexcept { return entries_.empty(); }
+
+ private:
+  MapEntry* find_mutable(const void* host) {
+    return const_cast<MapEntry*>(find(host));
+  }
+
+  bool overlaps(std::uintptr_t begin, std::size_t size) const {
+    auto it = entries_.lower_bound(begin);
+    if (it != entries_.end() && it->first < begin + size) return true;
+    if (it != entries_.begin()) {
+      --it;
+      if (it->second.host_begin + it->second.size > begin) return true;
+    }
+    return false;
+  }
+
+  std::map<std::uintptr_t, MapEntry> entries_;
+};
+
+}  // namespace ompc::offload

@@ -1,0 +1,67 @@
+// Device plugin interface — the miniature of libomptarget's plugin API
+// (Figure 2 of the paper). Every offloading backend implements exactly
+// these operations; the paper's §4.2 notes the event types of the OMPC
+// plugin have "a one-to-one match" with this interface:
+//
+//   data_alloc / data_delete      — allocation and removal of memory regions
+//   data_submit / data_retrieve   — submission and retrieval of data
+//   data_exchange                 — indirect forwarding between two devices
+//   run_target_region             — execution of a target region
+//
+// The host-fallback plugin (host_plugin.hpp) executes inline; the OMPC
+// cluster plugin (src/core/cluster_plugin.hpp) turns each call into an
+// event exchanged over minimpi.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "common/serialize.hpp"
+#include "offload/kernel_registry.hpp"
+
+namespace ompc::offload {
+
+/// Opaque device address. Plugins define its meaning (the host plugin and
+/// the cluster plugin both use it as a pointer value in the owning rank's
+/// address space — never dereferenced outside that rank).
+using TargetPtr = std::uint64_t;
+
+inline constexpr TargetPtr kNullTargetPtr = 0;
+
+class DevicePlugin {
+ public:
+  virtual ~DevicePlugin() = default;
+
+  virtual std::string name() const = 0;
+
+  /// Number of devices this plugin exposes (cluster plugin: worker nodes).
+  virtual int number_of_devices() const = 0;
+
+  /// Allocates `size` bytes on `device`; returns an opaque device address.
+  virtual TargetPtr data_alloc(int device, std::size_t size) = 0;
+
+  /// Frees a device allocation.
+  virtual void data_delete(int device, TargetPtr ptr) = 0;
+
+  /// Copies host -> device.
+  virtual void data_submit(int device, TargetPtr dst, const void* src,
+                           std::size_t size) = 0;
+
+  /// Copies device -> host.
+  virtual void data_retrieve(int device, void* dst, TargetPtr src,
+                             std::size_t size) = 0;
+
+  /// Copies device -> device without staging through the host. Returns
+  /// false if the plugin cannot (caller then bounces through the host).
+  virtual bool data_exchange(int src_device, TargetPtr src, int dst_device,
+                             TargetPtr dst, std::size_t size) = 0;
+
+  /// Runs a registered kernel on `device`. `buffers` are device addresses
+  /// positionally bound to the kernel's buffer parameters; `scalars` is the
+  /// serialized firstprivate blob.
+  virtual void run_target_region(int device, KernelId kernel,
+                                 const std::vector<TargetPtr>& buffers,
+                                 const Bytes& scalars) = 0;
+};
+
+}  // namespace ompc::offload

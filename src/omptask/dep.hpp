@@ -1,0 +1,30 @@
+// OpenMP-style dependence descriptors.
+//
+// A Dep names a storage location (by address, exactly as the OpenMP
+// `depend` clause does) and a direction. The runtime serializes tasks that
+// touch the same location according to the standard's rules: readers after
+// the last writer; writers after the last writer *and* all intervening
+// readers (flow, anti and output dependences).
+#pragma once
+
+#include <span>
+#include <vector>
+
+namespace ompc::omp {
+
+enum class DepType { In, Out, InOut };
+
+struct Dep {
+  const void* addr = nullptr;
+  DepType type = DepType::In;
+};
+
+inline Dep in(const void* p) { return Dep{p, DepType::In}; }
+inline Dep out(const void* p) { return Dep{p, DepType::Out}; }
+inline Dep inout(const void* p) { return Dep{p, DepType::InOut}; }
+
+inline bool is_write(DepType t) { return t != DepType::In; }
+
+using DepList = std::vector<Dep>;
+
+}  // namespace ompc::omp

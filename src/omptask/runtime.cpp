@@ -1,0 +1,225 @@
+#include "omptask/runtime.hpp"
+
+#include "common/check.hpp"
+#include "common/log.hpp"
+
+namespace ompc::omp {
+
+namespace {
+// Identifies the worker index of the calling thread within its runtime
+// (-1 for external threads). Thread-local per (thread, runtime) pair is
+// overkill; a task runtime never migrates threads, so a plain pair works.
+thread_local const TaskRuntime* t_pool = nullptr;
+thread_local int t_worker_index = -1;
+}  // namespace
+
+TaskRuntime::TaskRuntime(int num_threads) {
+  OMPC_CHECK_MSG(num_threads >= 1, "task runtime needs >= 1 thread");
+  const int n = num_threads;
+  ready_.reserve(static_cast<std::size_t>(n) + 1);
+  for (int i = 0; i < n + 1; ++i)
+    ready_.push_back(std::make_unique<ReadyQueue>());
+  workers_.reserve(static_cast<std::size_t>(n));
+  for (int i = 0; i < n; ++i) {
+    workers_.emplace_back([this, i] {
+      log::set_thread_label("omp" + std::to_string(i));
+      t_pool = this;
+      t_worker_index = i;
+      worker_main(i);
+    });
+  }
+}
+
+TaskRuntime::~TaskRuntime() {
+  stop_.store(true, std::memory_order_release);
+  work_cv_.notify_all();
+  for (auto& w : workers_) w.join();
+}
+
+TaskId TaskRuntime::submit(TaskFn fn, std::span<const Dep> deps) {
+  TaskId ready_id = 0;
+  TaskId id = 0;
+  {
+    std::lock_guard<std::mutex> lock(graph_mutex_);
+    id = next_id_++;
+    auto task = std::make_unique<Task>();
+    task->id = id;
+    task->fn = std::move(fn);
+
+    // OpenMP dependence resolution against the per-address history.
+    auto add_edge = [&](TaskId pred_id) {
+      auto it = tasks_.find(pred_id);
+      if (it == tasks_.end() || it->second->finished) return;
+      it->second->successors.push_back(id);
+      ++task->remaining_deps;
+    };
+    for (const Dep& d : deps) {
+      AddrState& st = addr_state_[d.addr];
+      if (d.type == DepType::In) {
+        if (st.has_writer) add_edge(st.last_writer);
+        st.readers_since_write.push_back(id);
+      } else {
+        if (st.has_writer) add_edge(st.last_writer);
+        for (TaskId r : st.readers_since_write) add_edge(r);
+        st.readers_since_write.clear();
+        st.last_writer = id;
+        st.has_writer = true;
+      }
+    }
+
+    ++pending_;
+    const bool is_ready = task->remaining_deps == 0;
+    tasks_.emplace(id, std::move(task));
+    if (is_ready) ready_id = id;
+  }
+  if (ready_id != 0) enqueue_ready(ready_id, t_worker_index);
+  return id;
+}
+
+void TaskRuntime::taskwait() {
+  std::unique_lock<std::mutex> lock(graph_mutex_);
+  all_done_cv_.wait(lock, [this] { return pending_ == 0; });
+  // Epoch boundary: drop completed task records and dependence history so
+  // long-running programs (benchmark sweeps) don't accumulate state.
+  tasks_.clear();
+  addr_state_.clear();
+}
+
+bool TaskRuntime::is_finished(TaskId id) const {
+  std::lock_guard<std::mutex> lock(graph_mutex_);
+  auto it = tasks_.find(id);
+  return it == tasks_.end() || it->second->finished;
+}
+
+void TaskRuntime::enqueue_ready(TaskId id, int hint_queue) {
+  const int inbox = static_cast<int>(ready_.size()) - 1;
+  const int q = (hint_queue >= 0 && hint_queue < inbox && t_pool == this)
+                    ? hint_queue
+                    : inbox;
+  {
+    std::lock_guard<std::mutex> lock(ready_[static_cast<std::size_t>(q)]->mutex);
+    ready_[static_cast<std::size_t>(q)]->queue.push_back(id);
+  }
+  work_cv_.notify_one();
+}
+
+bool TaskRuntime::try_pop(int self, TaskId& out) {
+  // Own queue first (LIFO for locality) ...
+  {
+    auto& rq = *ready_[static_cast<std::size_t>(self)];
+    std::lock_guard<std::mutex> lock(rq.mutex);
+    if (!rq.queue.empty()) {
+      out = rq.queue.back();
+      rq.queue.pop_back();
+      return true;
+    }
+  }
+  // ... then the external inbox and victims (FIFO steal side).
+  const int n = static_cast<int>(ready_.size());
+  for (int i = 1; i < n; ++i) {
+    const int v = (self + i) % n;
+    auto& rq = *ready_[static_cast<std::size_t>(v)];
+    std::lock_guard<std::mutex> lock(rq.mutex);
+    if (!rq.queue.empty()) {
+      out = rq.queue.front();
+      rq.queue.pop_front();
+      steals_.fetch_add(1, std::memory_order_relaxed);
+      return true;
+    }
+  }
+  return false;
+}
+
+void TaskRuntime::run_task(TaskId id) {
+  TaskFn fn;
+  {
+    std::lock_guard<std::mutex> lock(graph_mutex_);
+    auto it = tasks_.find(id);
+    OMPC_CHECK_MSG(it != tasks_.end(), "running unknown task " << id);
+    fn = std::move(it->second->fn);
+  }
+  fn();  // user code runs outside every lock (CP.22)
+  executed_.fetch_add(1, std::memory_order_relaxed);
+
+  std::vector<TaskId> now_ready;
+  {
+    std::lock_guard<std::mutex> lock(graph_mutex_);
+    auto it = tasks_.find(id);
+    Task& task = *it->second;
+    task.finished = true;
+    for (TaskId succ : task.successors) {
+      auto sit = tasks_.find(succ);
+      if (sit == tasks_.end()) continue;
+      if (--sit->second->remaining_deps == 0) now_ready.push_back(succ);
+    }
+    if (--pending_ == 0) all_done_cv_.notify_all();
+  }
+  for (TaskId succ : now_ready) enqueue_ready(succ, t_worker_index);
+}
+
+void TaskRuntime::worker_main(int self) {
+  for (;;) {
+    TaskId id = 0;
+    if (try_pop(self, id)) {
+      run_task(id);
+      continue;
+    }
+    std::unique_lock<std::mutex> lock(sleep_mutex_);
+    if (stop_.load(std::memory_order_acquire)) return;
+    // Re-check after taking the sleep lock: a task may have been enqueued
+    // between the failed pop and here; work_cv_ notification races are
+    // resolved by the timed wait below.
+    work_cv_.wait_for(lock, std::chrono::milliseconds(1));
+    if (stop_.load(std::memory_order_acquire)) return;
+  }
+}
+
+void TaskRuntime::parallel_for(
+    std::int64_t begin, std::int64_t end, std::int64_t grain,
+    const std::function<void(std::int64_t, std::int64_t)>& body) {
+  OMPC_CHECK(grain >= 1);
+  if (begin >= end) return;
+
+  // Chunk cursor shared with helper tasks; the caller participates so this
+  // is safe inside a task body (never blocks a pool thread on the pool).
+  struct Shared {
+    std::atomic<std::int64_t> next;
+    std::atomic<std::int64_t> done_chunks{0};
+    std::int64_t begin, end, grain, total_chunks;
+    const std::function<void(std::int64_t, std::int64_t)>* body;
+  };
+  auto shared = std::make_shared<Shared>();
+  shared->next.store(begin);
+  shared->begin = begin;
+  shared->end = end;
+  shared->grain = grain;
+  shared->total_chunks = (end - begin + grain - 1) / grain;
+  shared->body = &body;
+
+  auto drain_one = [](Shared& s) -> bool {
+    const std::int64_t lo = s.next.fetch_add(s.grain);
+    if (lo >= s.end) return false;
+    const std::int64_t hi = std::min(lo + s.grain, s.end);
+    (*s.body)(lo, hi);
+    s.done_chunks.fetch_add(1, std::memory_order_release);
+    return true;
+  };
+
+  // One helper task per worker; each drains chunks until the cursor is
+  // exhausted. The caller drains too, then spins (yielding) for stragglers.
+  const int helpers = num_threads();
+  for (int i = 0; i < helpers; ++i) {
+    submit([shared, drain_one] {
+      while (drain_one(*shared)) {
+      }
+    });
+  }
+  while (drain_one(*shared)) {
+  }
+  while (shared->done_chunks.load(std::memory_order_acquire) <
+         shared->total_chunks) {
+    std::this_thread::yield();
+  }
+}
+
+}  // namespace ompc::omp

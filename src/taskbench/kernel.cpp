@@ -1,0 +1,84 @@
+#include "taskbench/kernel.hpp"
+
+#include <cstring>
+#include <vector>
+
+#include "common/check.hpp"
+#include "common/rng.hpp"
+#include "common/time.hpp"
+
+namespace ompc::taskbench {
+
+std::uint64_t burn(KernelMode mode, std::int64_t iterations) {
+  if (iterations <= 0) return 0;
+  if (mode == KernelMode::Sleep) {
+    precise_sleep_ns(static_cast<std::int64_t>(
+        static_cast<double>(iterations) * kNsPerIteration));
+    return 0;
+  }
+  XorShift64 rng(static_cast<std::uint64_t>(iterations) | 1u);
+  std::uint64_t acc = 0;
+  for (std::int64_t k = 0; k < iterations; ++k) acc ^= rng.next();
+  return acc;
+}
+
+std::uint64_t read_digest(std::span<const std::byte> output) {
+  OMPC_CHECK(output.size() >= sizeof(std::uint64_t));
+  std::uint64_t d = 0;
+  std::memcpy(&d, output.data(), sizeof d);
+  return d;
+}
+
+namespace {
+std::uint64_t point_digest(int t, int i,
+                           std::span<const std::uint64_t> input_digests) {
+  std::uint64_t h = fnv1a(&t, sizeof t);
+  h = fnv1a(&i, sizeof i, h);
+  for (std::uint64_t in : input_digests) h = fnv1a(&in, sizeof in, h);
+  return h;
+}
+}  // namespace
+
+void point_compute(const TaskBenchSpec& spec, int t, int i,
+                   std::span<const std::uint64_t> input_digests,
+                   std::span<std::byte> output) {
+  OMPC_CHECK_MSG(output.size() >= 16, "task bench outputs are >= 16 bytes");
+  const std::uint64_t noise = burn(spec.mode, spec.iterations);
+  std::uint64_t digest = point_digest(t, i, input_digests);
+  digest ^= (noise & 0);  // keep `noise` observable without affecting data
+
+  std::memcpy(output.data(), &digest, sizeof digest);
+  // Deterministic filler for the payload body: cheap, seeded by the
+  // digest, and bounded so huge CCR payloads don't turn into compute.
+  XorShift64 rng(digest);
+  const std::size_t fill = std::min<std::size_t>(output.size(), 64);
+  for (std::size_t off = sizeof digest; off + 8 <= fill; off += 8) {
+    const std::uint64_t v = rng.next();
+    std::memcpy(output.data() + off, &v, sizeof v);
+  }
+}
+
+std::uint64_t combine_digests(std::span<const std::uint64_t> digests) {
+  // Sum is commutative: partial sums from distributed ranks combine in any
+  // order (allreduce_sum) and still match the sequential value.
+  std::uint64_t total = 0;
+  for (std::uint64_t d : digests) total += d * 0x9e3779b97f4a7c15ull;
+  return total;
+}
+
+std::uint64_t expected_checksum(const TaskBenchSpec& spec) {
+  const std::size_t w = static_cast<std::size_t>(spec.width);
+  std::vector<std::uint64_t> prev(w, 0), cur(w, 0);
+  for (int t = 0; t < spec.steps; ++t) {
+    for (int i = 0; i < spec.width; ++i) {
+      std::vector<std::uint64_t> ins;
+      for (int j : dependencies(spec, t, i))
+        ins.push_back(prev[static_cast<std::size_t>(j)]);
+      cur[static_cast<std::size_t>(i)] = point_digest(t, i, ins);
+    }
+    std::swap(prev, cur);
+  }
+  return combine_digests(prev);
+}
+
+}  // namespace ompc::taskbench

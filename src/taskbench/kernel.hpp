@@ -1,0 +1,42 @@
+// The Task Bench point kernel, shared verbatim by every runner
+// (sequential, OMPC, MPI, StarPU-like, Charm-like) so that all runtimes
+// produce bit-identical outputs and a common checksum validates their
+// dataflow end to end.
+//
+// Each point's output begins with an 8-byte digest that chains the digests
+// of its inputs — any misrouted, stale or missing dependence changes the
+// final checksum.
+#pragma once
+
+#include <cstdint>
+#include <span>
+
+#include "taskbench/spec.hpp"
+
+namespace ompc::taskbench {
+
+/// Burns the task's compute cost: a real arithmetic loop (Busy) or a
+/// calibrated wait (Sleep; 5 ns per iteration). Returns a value that
+/// depends on the loop so Busy cannot be optimized away.
+std::uint64_t burn(KernelMode mode, std::int64_t iterations);
+
+/// Digest stored in the first 8 bytes of an output buffer.
+std::uint64_t read_digest(std::span<const std::byte> output);
+
+/// Computes point (t, i): consumes the digests of `inputs` (the outputs of
+/// its t-1 dependencies, pattern order), performs the compute, and fills
+/// `output` (>= 16 bytes) with the new digest plus deterministic filler.
+void point_compute(const TaskBenchSpec& spec, int t, int i,
+                   std::span<const std::uint64_t> input_digests,
+                   std::span<std::byte> output);
+
+/// Order-independent combination of last-row digests: the value every
+/// runner must agree on.
+std::uint64_t combine_digests(std::span<const std::uint64_t> digests);
+
+/// Reference checksum computed directly (no buffers): what a correct run
+/// of `spec` must produce. Skips the compute burn, so it is fast even for
+/// specs with large iteration counts.
+std::uint64_t expected_checksum(const TaskBenchSpec& spec);
+
+}  // namespace ompc::taskbench

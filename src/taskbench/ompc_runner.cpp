@@ -1,0 +1,102 @@
+// Task Bench over the OMPC runtime.
+//
+// Ping-pong buffer scheme: two rows of `width` device buffers; the task at
+// (t, i) writes row t%2 column i and reads its dependencies from row
+// (t+1)%2. Every buffer a task touches appears in its depend list (the
+// §4.3 restriction), which is exactly what lets the Data Manager place and
+// forward data with no explicit communication in this file — the whole
+// point of the programming model.
+#include <vector>
+
+#include "common/check.hpp"
+#include "taskbench/kernel.hpp"
+#include "taskbench/runners.hpp"
+
+namespace ompc::taskbench {
+
+namespace {
+
+/// Worker-side kernel: buffers[0] = own output, buffers[1..] = dependency
+/// inputs; scalars carry the point coordinates and kernel parameters.
+const offload::KernelId kPointKernel =
+    offload::KernelRegistry::instance().register_kernel(
+        "taskbench_point", [](offload::KernelContext& ctx) {
+          auto r = ctx.scalars();
+          const int t = r.get<int>();
+          const int i = r.get<int>();
+          const auto mode = r.get<KernelMode>();
+          const auto iterations = r.get<std::int64_t>();
+          const auto out_bytes = r.get<std::uint64_t>();
+
+          std::vector<std::uint64_t> ins;
+          ins.reserve(ctx.num_buffers() - 1);
+          for (std::size_t b = 1; b < ctx.num_buffers(); ++b) {
+            ins.push_back(read_digest(
+                std::span<const std::byte>(ctx.buffer<std::byte>(b), 8)));
+          }
+          TaskBenchSpec k;
+          k.mode = mode;
+          k.iterations = iterations;
+          k.output_bytes = out_bytes;
+          point_compute(k, t, i, ins,
+                        std::span<std::byte>(ctx.buffer<std::byte>(0),
+                                             out_bytes));
+        });
+
+}  // namespace
+
+RunResult run_ompc(const TaskBenchSpec& spec,
+                   const core::ClusterOptions& opts) {
+  const auto w = static_cast<std::size_t>(spec.width);
+  const std::size_t out_bytes = std::max<std::size_t>(16, spec.output_bytes);
+
+  // Row parity x column. Host-side backing store; contents only round-trip
+  // at enter/exit.
+  std::vector<std::vector<Bytes>> rows(2, std::vector<Bytes>(w));
+  for (auto& row : rows)
+    for (auto& b : row) b.assign(out_bytes, std::byte{0});
+
+  RunResult result;
+  result.stats = core::launch(opts, [&](core::Runtime& rt) {
+    for (auto& row : rows)
+      for (auto& b : row) rt.enter_data(b.data(), b.size());
+
+    for (int t = 0; t < spec.steps; ++t) {
+      auto& cur = rows[static_cast<std::size_t>(t % 2)];
+      auto& prev = rows[static_cast<std::size_t>((t + 1) % 2)];
+      for (int i = 0; i < spec.width; ++i) {
+        core::Args args;
+        omp::DepList deps;
+        Bytes& out = cur[static_cast<std::size_t>(i)];
+        args.buf(out.data());
+        deps.push_back(omp::inout(out.data()));
+        for (int j : dependencies(spec, t, i)) {
+          Bytes& in = prev[static_cast<std::size_t>(j)];
+          args.buf(in.data());
+          deps.push_back(omp::in(in.data()));
+        }
+        args.scalar(t).scalar(i).scalar(spec.mode).scalar(spec.iterations)
+            .scalar<std::uint64_t>(out_bytes);
+        rt.target(std::move(deps), kPointKernel, std::move(args),
+                  spec.task_seconds());
+      }
+    }
+
+    // Retrieve the final row; release the scratch row without copying.
+    const auto final_row = static_cast<std::size_t>((spec.steps - 1) % 2);
+    for (std::size_t p = 0; p < 2; ++p)
+      for (auto& b : rows[p]) rt.exit_data(b.data(), p == final_row);
+  });
+
+  result.wall_s = ns_to_s(result.stats.wall_ns);
+  result.messages = result.stats.messages_sent;
+
+  std::vector<std::uint64_t> digests;
+  digests.reserve(w);
+  const auto& final_row = rows[static_cast<std::size_t>((spec.steps - 1) % 2)];
+  for (const Bytes& b : final_row) digests.push_back(read_digest(b));
+  result.checksum = combine_digests(digests);
+  return result;
+}
+
+}  // namespace ompc::taskbench

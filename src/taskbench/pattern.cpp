@@ -1,0 +1,117 @@
+#include "taskbench/spec.hpp"
+
+#include <algorithm>
+#include <sstream>
+
+#include "common/check.hpp"
+
+namespace ompc::taskbench {
+
+const char* pattern_name(Pattern p) {
+  switch (p) {
+    case Pattern::Trivial: return "trivial";
+    case Pattern::Stencil1D: return "stencil_1d";
+    case Pattern::Fft: return "fft";
+    case Pattern::Tree: return "tree";
+  }
+  return "?";
+}
+
+Pattern pattern_from_name(const std::string& name) {
+  for (Pattern p : all_patterns()) {
+    if (name == pattern_name(p)) return p;
+  }
+  OMPC_CHECK_MSG(false, "unknown pattern '" << name << '\'');
+}
+
+std::vector<Pattern> all_patterns() {
+  return {Pattern::Trivial, Pattern::Stencil1D, Pattern::Fft, Pattern::Tree};
+}
+
+namespace {
+int log2_floor(int v) {
+  int l = 0;
+  while ((1 << (l + 1)) <= v) ++l;
+  return l;
+}
+}  // namespace
+
+std::vector<int> dependencies(const TaskBenchSpec& spec, int t, int i) {
+  OMPC_CHECK(t >= 0 && t < spec.steps && i >= 0 && i < spec.width);
+  if (t == 0) return {};
+  const int w = spec.width;
+  switch (spec.pattern) {
+    case Pattern::Trivial:
+      return {};
+    case Pattern::Stencil1D: {
+      std::vector<int> d{(i - 1 + w) % w, i, (i + 1) % w};
+      std::sort(d.begin(), d.end());
+      d.erase(std::unique(d.begin(), d.end()), d.end());
+      return d;
+    }
+    case Pattern::Fft: {
+      const int levels = log2_floor(w);
+      if (levels == 0) return {i};
+      const int partner = i ^ (1 << ((t - 1) % levels));
+      if (partner >= w || partner == i) return {i};
+      std::vector<int> d{i, partner};
+      std::sort(d.begin(), d.end());
+      return d;
+    }
+    case Pattern::Tree:
+      return {i / 2};
+  }
+  return {};
+}
+
+std::vector<int> consumers(const TaskBenchSpec& spec, int t, int i) {
+  std::vector<int> out;
+  if (t + 1 >= spec.steps) return out;
+  // Width is small (<= a few thousand); scanning the next row keeps the
+  // pattern definition in one place.
+  for (int j = 0; j < spec.width; ++j) {
+    const std::vector<int> deps = dependencies(spec, t + 1, j);
+    if (std::find(deps.begin(), deps.end(), i) != deps.end())
+      out.push_back(j);
+  }
+  return out;
+}
+
+std::size_t bytes_for_ccr(double task_seconds, double ccr,
+                          const mpi::NetworkModel& net) {
+  OMPC_CHECK(ccr > 0.0 && task_seconds > 0.0);
+  const double comm_seconds = task_seconds / ccr;
+  const double latency_s = static_cast<double>(net.latency_ns) / 1e9;
+  const double payload_s = std::max(0.0, comm_seconds - latency_s);
+  if (net.bandwidth_Bps <= 0.0) return 16;
+  const auto bytes =
+      static_cast<std::size_t>(payload_s * net.bandwidth_Bps);
+  return std::max<std::size_t>(16, bytes);
+}
+
+std::string render_pattern(Pattern p, int width, int steps) {
+  TaskBenchSpec spec;
+  spec.pattern = p;
+  spec.width = width;
+  spec.steps = steps;
+  std::ostringstream os;
+  os << pattern_name(p) << " (" << steps << " steps x " << width
+     << " points; '<-' lists the t-1 columns each point reads)\n";
+  for (int t = 0; t < steps; ++t) {
+    os << "t=" << t << ": ";
+    for (int i = 0; i < width; ++i) {
+      os << '[' << i;
+      const auto deps = dependencies(spec, t, i);
+      if (!deps.empty()) {
+        os << "<-";
+        for (std::size_t k = 0; k < deps.size(); ++k)
+          os << (k > 0 ? "," : "") << deps[k];
+      }
+      os << "] ";
+    }
+    os << '\n';
+  }
+  return os.str();
+}
+
+}  // namespace ompc::taskbench

@@ -1,0 +1,53 @@
+// Task Bench runners: one per runtime the paper evaluates (§6.1 selected
+// the task-based distributed runtimes — Charm++, StarPU — plus the raw MPI
+// reference; OMPC is the system under test; sequential is our validation
+// oracle).
+//
+// Every runner executes the same dataflow with the same point kernel and
+// returns a checksum that must equal expected_checksum(spec) — a
+// cross-runtime integration test of the whole stack.
+#pragma once
+
+#include <cstdint>
+
+#include "core/options.hpp"
+#include "core/runtime.hpp"
+#include "taskbench/spec.hpp"
+
+namespace ompc::taskbench {
+
+struct RunResult {
+  double wall_s = 0.0;          ///< execution time (the figures' y-axis)
+  std::uint64_t checksum = 0;   ///< must match expected_checksum(spec)
+  std::int64_t messages = 0;    ///< wire messages (instrumentation)
+  core::RuntimeStats stats;     ///< populated by the OMPC runner only
+};
+
+/// In-process reference (no cluster, no communication).
+RunResult run_sequential(const TaskBenchSpec& spec);
+
+/// The system under test: OMPC with `opts.num_workers` worker nodes.
+RunResult run_ompc(const TaskBenchSpec& spec, const core::ClusterOptions& opts);
+
+/// Synchronous data-parallel MPI reference: block-owned columns, per-step
+/// halo exchange (the paper's "best possible baseline").
+RunResult run_mpisync(const TaskBenchSpec& spec, int nodes,
+                      const mpi::NetworkModel& net);
+
+/// StarPU-like: decentralized task runtime, owner-computes data handles,
+/// automatic per-edge isend/irecv (see src/baselines/starpulike.cpp).
+RunResult run_starpulike(const TaskBenchSpec& spec, int nodes,
+                         const mpi::NetworkModel& net);
+
+/// Charm++-like: message-driven chare array, one chare per point column,
+/// one message per dependence edge (see src/baselines/charmlike.cpp).
+RunResult run_charmlike(const TaskBenchSpec& spec, int nodes,
+                        const mpi::NetworkModel& net);
+
+/// Runner by name ("ompc", "mpi", "starpu", "charm") — for the CLI example
+/// and the figure benches. `nodes` is the paper's x-axis meaning: OMPC
+/// worker count / baseline rank count.
+RunResult run_named(const std::string& runtime, const TaskBenchSpec& spec,
+                    int nodes, const mpi::NetworkModel& net);
+
+}  // namespace ompc::taskbench

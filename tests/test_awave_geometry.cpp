@@ -1,0 +1,134 @@
+// Awave geometry and API edge cases: shot spreading, receiver strides,
+// propagator reset, imaging helpers and CFL guards.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "awave/rtm.hpp"
+
+namespace ompc::awave {
+namespace {
+
+TEST(Shots, SpreadIsEvenAndInBounds) {
+  const VelocityModel m(100, 50, 10.0f);
+  const auto shots = spread_shots(m, 4);
+  ASSERT_EQ(shots.size(), 4u);
+  EXPECT_EQ(shots[0].sx, 12);  // (0.5/4) * 100
+  EXPECT_EQ(shots[1].sx, 37);
+  EXPECT_EQ(shots[2].sx, 62);
+  EXPECT_EQ(shots[3].sx, 87);
+  for (const Shot& s : shots) {
+    EXPECT_GE(s.sx, 0);
+    EXPECT_LT(s.sx, m.nx);
+    EXPECT_GE(s.sz, 4);  // below the FD halo
+  }
+}
+
+TEST(Shots, SingleShotCentered) {
+  const VelocityModel m(100, 50, 10.0f);
+  const auto shots = spread_shots(m, 1);
+  ASSERT_EQ(shots.size(), 1u);
+  EXPECT_EQ(shots[0].sx, 50);
+}
+
+TEST(Receivers, StrideControlsCount) {
+  Receivers r;
+  r.stride = 1;
+  EXPECT_EQ(r.count(100), 100);
+  r.stride = 3;
+  EXPECT_EQ(r.count(100), 34);  // ceil(100/3)
+  r.stride = 100;
+  EXPECT_EQ(r.count(100), 1);
+}
+
+TEST(Receivers, StridedSeismogramSubsamplesColumns) {
+  VelocityModel m(60, 40, 10.0f, 2000.0f);
+  FdParams p;
+  p.nt = 60;
+  Receivers dense{6, 1};
+  Receivers sparse{6, 4};
+  const Seismogram full = model_shot(m, p, Shot{30, 6}, dense);
+  const Seismogram sub = model_shot(m, p, Shot{30, 6}, sparse);
+  EXPECT_EQ(full.nrec, 60);
+  EXPECT_EQ(sub.nrec, 15);
+  // Strided traces are exactly the dense traces at multiples of 4.
+  for (int t = 0; t < p.nt; ++t) {
+    for (int r = 0; r < sub.nrec; ++r) {
+      EXPECT_FLOAT_EQ(sub.at(t, r), full.at(t, r * 4));
+    }
+  }
+}
+
+TEST(Propagator, ResetClearsFields) {
+  VelocityModel m(40, 40, 10.0f, 2000.0f);
+  FdParams p;
+  Propagator prop(m, p);
+  for (int t = 0; t < 30; ++t) prop.step(20, 6, 1.0f);
+  double energy = 0.0;
+  for (float v : prop.current()) energy += static_cast<double>(v) * v;
+  EXPECT_GT(energy, 0.0);
+  prop.reset();
+  for (float v : prop.current()) EXPECT_EQ(v, 0.0f);
+}
+
+TEST(Propagator, ExplicitDtHonoredAndCflGuarded) {
+  VelocityModel m(32, 32, 10.0f, 3000.0f);
+  FdParams ok;
+  ok.dt = stable_dt(m) * 0.5f;
+  Propagator prop(m, ok);
+  EXPECT_FLOAT_EQ(prop.dt(), ok.dt);
+
+  FdParams bad;
+  bad.dt = stable_dt(m, 1.0f) * 1.5f;  // violates CFL
+  EXPECT_THROW(Propagator(m, bad), CheckError);
+}
+
+TEST(Propagator, SnapshotStrideControlsCount) {
+  VelocityModel m(40, 40, 10.0f, 2000.0f);
+  FdParams p;
+  p.nt = 40;
+  p.snapshot_stride = 5;
+  std::vector<Field> snaps;
+  (void)model_shot(m, p, Shot{20, 6}, Receivers{}, &snaps);
+  EXPECT_EQ(snaps.size(), 8u);  // t = 0,5,...,35
+}
+
+TEST(Imaging, StackAccumulatesAndChecksSizes) {
+  Image total(16, 1.0f);
+  Image part(16, 2.0f);
+  stack_image(total, part);
+  for (float v : total) EXPECT_FLOAT_EQ(v, 3.0f);
+  Image wrong(8);
+  EXPECT_THROW(stack_image(total, wrong), CheckError);
+}
+
+TEST(Imaging, RmsBehaves) {
+  Image zero(100, 0.0f);
+  EXPECT_DOUBLE_EQ(image_rms(zero), 0.0);
+  Image ones(100, 1.0f);
+  EXPECT_NEAR(image_rms(ones), 1.0, 1e-12);
+  Image mixed(2);
+  mixed[0] = 3.0f;
+  mixed[1] = 4.0f;
+  EXPECT_NEAR(image_rms(mixed), std::sqrt(12.5), 1e-6);
+}
+
+TEST(Wavelet, RickerPeaksAtDelayAndDecays) {
+  const float f = 15.0f;
+  const float delay = 1.2f / f;
+  EXPECT_NEAR(ricker(delay, f), 1.0f, 1e-5f);  // maximum at the delay
+  EXPECT_LT(std::abs(ricker(0.0f, f)), 0.1f);  // near-zero at onset
+  EXPECT_LT(std::abs(ricker(delay * 3.0f, f)), 1e-3f);  // decayed
+}
+
+TEST(Wavelet, ZeroCrossingsSurroundPeak) {
+  const float f = 20.0f;
+  const float delay = 1.2f / f;
+  // The Ricker has two symmetric negative lobes around the main peak.
+  const float lobe = 1.0f / (static_cast<float>(M_PI) * f) * 1.5f;
+  EXPECT_LT(ricker(delay - lobe, f), 0.0f);
+  EXPECT_LT(ricker(delay + lobe, f), 0.0f);
+}
+
+}  // namespace
+}  // namespace ompc::awave

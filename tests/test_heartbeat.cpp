@@ -1,0 +1,90 @@
+// Heartbeat ring tests (§3.1's fault-detection mechanism): healthy rings
+// stay quiet, a silenced node is flagged by its successor, and recovery
+// detection hooks fire exactly once.
+#include <gtest/gtest.h>
+
+#include <atomic>
+
+#include "core/heartbeat.hpp"
+#include "minimpi/universe.hpp"
+
+namespace ompc::core {
+namespace {
+
+mpi::UniverseOptions instant(int ranks) {
+  mpi::UniverseOptions o;
+  o.ranks = ranks;
+  return o;
+}
+
+TEST(Heartbeat, RingTopologyIndices) {
+  mpi::Universe::launch(instant(4), [](mpi::RankContext& ctx) {
+    HeartbeatRing ring(ctx.world().dup(), {}, nullptr);
+    const int n = 4;
+    EXPECT_EQ(ring.successor(), (ctx.rank() + 1) % n);
+    EXPECT_EQ(ring.predecessor(), (ctx.rank() - 1 + n) % n);
+    ring.stop();
+  });
+}
+
+TEST(Heartbeat, HealthyRingReportsNoFailures) {
+  std::atomic<int> failures{0};
+  mpi::Universe::launch(instant(3), [&](mpi::RankContext& ctx) {
+    HeartbeatRing::Options opts;
+    opts.period_ms = 5;
+    opts.timeout_ms = 60;
+    HeartbeatRing ring(ctx.world().dup(), opts,
+                       [&](mpi::Rank) { failures.fetch_add(1); });
+    precise_sleep_ns(150'000'000);  // 150 ms of healthy pinging
+    EXPECT_FALSE(ring.predecessor_failed());
+    ring.stop();
+  });
+  EXPECT_EQ(failures.load(), 0);
+}
+
+TEST(Heartbeat, SilencedNodeIsDetectedByItsSuccessor) {
+  std::atomic<int> flagged_rank{-1};
+  std::atomic<int> failures{0};
+  mpi::Universe::launch(instant(3), [&](mpi::RankContext& ctx) {
+    HeartbeatRing::Options opts;
+    opts.period_ms = 5;
+    opts.timeout_ms = 50;
+    HeartbeatRing ring(ctx.world().dup(), opts, [&](mpi::Rank dead) {
+      failures.fetch_add(1);
+      flagged_rank.store(dead);
+    });
+    if (ctx.rank() == 1) {
+      precise_sleep_ns(20'000'000);
+      ring.pause();  // rank 1 goes silent
+    }
+    precise_sleep_ns(200'000'000);
+    if (ctx.rank() == 2) {
+      // Rank 2 monitors rank 1 and must have flagged it.
+      EXPECT_TRUE(ring.predecessor_failed());
+    }
+    ring.stop();
+  });
+  EXPECT_EQ(failures.load(), 1);  // fired exactly once, by rank 2
+  EXPECT_EQ(flagged_rank.load(), 1);
+}
+
+TEST(Heartbeat, SingleRankRingIsNoop) {
+  mpi::Universe::launch(instant(1), [](mpi::RankContext& ctx) {
+    HeartbeatRing ring(ctx.world().dup(), {}, nullptr);
+    precise_sleep_ns(30'000'000);
+    EXPECT_FALSE(ring.predecessor_failed());
+    ring.stop();
+  });
+}
+
+TEST(Heartbeat, StopIsIdempotent) {
+  mpi::Universe::launch(instant(2), [](mpi::RankContext& ctx) {
+    HeartbeatRing ring(ctx.world().dup(), {}, nullptr);
+    ring.stop();
+    ring.stop();  // second stop must be a no-op, destructor a third
+  });
+  SUCCEED();
+}
+
+}  // namespace
+}  // namespace ompc::core

@@ -1,0 +1,268 @@
+// Scheduler tests: cluster graph construction (dependences -> weighted
+// edges), the collapsed view, HEFT placement properties and the paper's
+// two adaptations, plus the ablation policies.
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "core/heft.hpp"
+
+namespace ompc::core {
+namespace {
+
+// Distinct fake addresses for dependence tracking.
+const char* addr(int i) {
+  static char pool[256];
+  return &pool[i];
+}
+
+ClusterTask target_task(omp::DepList deps, double cost = 1e-3) {
+  ClusterTask t;
+  t.type = TaskType::Target;
+  t.deps = std::move(deps);
+  t.cost_s = cost;
+  return t;
+}
+
+TEST(ClusterGraph, FlowDependenceMakesEdge) {
+  ClusterGraph g([](const void*) { return std::size_t{100}; });
+  const int a = g.add_task(target_task({omp::out(addr(0))}));
+  const int b = g.add_task(target_task({omp::in(addr(0))}));
+  g.build_edges();
+  ASSERT_EQ(g.edges().size(), 1u);
+  EXPECT_EQ(g.edges()[0].from, a);
+  EXPECT_EQ(g.edges()[0].to, b);
+  EXPECT_EQ(g.edges()[0].bytes, 100u);
+}
+
+TEST(ClusterGraph, ReadersDoNotDependOnEachOther) {
+  ClusterGraph g;
+  g.add_task(target_task({omp::out(addr(0))}));
+  const int r1 = g.add_task(target_task({omp::in(addr(0))}));
+  const int r2 = g.add_task(target_task({omp::in(addr(0))}));
+  const int w2 = g.add_task(target_task({omp::inout(addr(0))}));
+  g.build_edges();
+  // r1 and r2 each have 1 pred (the writer); w2 has 3 preds? No: WAR edges
+  // from both readers plus flow from writer — but readers_since_write was
+  // cleared... writer w2 gets edges from w1 AND r1 AND r2.
+  EXPECT_EQ(g.task(r1).preds.size(), 1u);
+  EXPECT_EQ(g.task(r2).preds.size(), 1u);
+  EXPECT_EQ(g.task(w2).preds.size(), 3u);
+}
+
+TEST(ClusterGraph, MultipleDepsSamePairDeduplicateKeepingMaxBytes) {
+  std::map<const void*, std::size_t> sizes{{addr(0), 10}, {addr(1), 99}};
+  ClusterGraph g([&](const void* p) { return sizes.at(p); });
+  const int a =
+      g.add_task(target_task({omp::out(addr(0)), omp::out(addr(1))}));
+  const int b =
+      g.add_task(target_task({omp::in(addr(0)), omp::in(addr(1))}));
+  g.build_edges();
+  ASSERT_EQ(g.edges().size(), 1u);
+  EXPECT_EQ(g.edges()[0].bytes, 99u);
+  EXPECT_EQ(g.edge_bytes(a, b), 99u);
+}
+
+TEST(ClusterGraph, TopologicalOrderRespectsEdges) {
+  ClusterGraph g;
+  const int a = g.add_task(target_task({omp::out(addr(0))}));
+  const int b = g.add_task(target_task({omp::in(addr(0)), omp::out(addr(1))}));
+  const int c = g.add_task(target_task({omp::in(addr(1))}));
+  g.build_edges();
+  const auto order = g.topological_order();
+  ASSERT_EQ(order.size(), 3u);
+  std::map<int, std::size_t> pos;
+  for (std::size_t i = 0; i < order.size(); ++i) pos[order[i]] = i;
+  EXPECT_LT(pos[a], pos[b]);
+  EXPECT_LT(pos[b], pos[c]);
+}
+
+TEST(ClusterGraph, CollapsedViewSkipsDataTasks) {
+  ClusterGraph g([](const void*) { return std::size_t{64}; });
+  ClusterTask enter;
+  enter.type = TaskType::DataEnter;
+  enter.buffer = addr(0);
+  enter.deps = {omp::out(addr(0))};
+  g.add_task(std::move(enter));
+  const int t1 = g.add_task(target_task({omp::inout(addr(0))}));
+  ClusterTask exit_task;
+  exit_task.type = TaskType::DataExit;
+  exit_task.buffer = addr(0);
+  exit_task.deps = {omp::inout(addr(0))};
+  g.add_task(std::move(exit_task));
+  g.build_edges();
+
+  const CollapsedView v = g.collapsed();
+  EXPECT_EQ(v.task_ids.size(), 1u);
+  EXPECT_EQ(v.task_ids[0], t1);
+}
+
+TEST(ClusterGraph, CollapsedViewBridgesThroughDataTasks) {
+  // target A -> exit-like data node -> target B must become A -> B.
+  ClusterGraph g([](const void*) { return std::size_t{32}; });
+  const int a = g.add_task(target_task({omp::out(addr(0))}));
+  ClusterTask mover;
+  mover.type = TaskType::DataEnter;
+  mover.buffer = addr(0);
+  mover.deps = {omp::inout(addr(0))};
+  g.add_task(std::move(mover));
+  const int b = g.add_task(target_task({omp::in(addr(0))}));
+  g.build_edges();
+  const CollapsedView v = g.collapsed();
+  const int av = v.view_index[static_cast<std::size_t>(a)];
+  const int bv = v.view_index[static_cast<std::size_t>(b)];
+  ASSERT_GE(av, 0);
+  ASSERT_GE(bv, 0);
+  bool found = false;
+  for (const auto& [s, bytes] : v.succs[static_cast<std::size_t>(av)]) {
+    if (s == bv) {
+      found = true;
+      EXPECT_EQ(bytes, 32u);
+    }
+  }
+  EXPECT_TRUE(found);
+}
+
+// --- scheduling policies -------------------------------------------------
+
+ClusterGraph chain_graph(int n, std::size_t bytes) {
+  ClusterGraph g([bytes](const void*) { return bytes; });
+  for (int i = 0; i < n; ++i) {
+    g.add_task(target_task({omp::inout(addr(0))}));
+  }
+  g.build_edges();
+  return g;
+}
+
+ClusterGraph independent_graph(int n) {
+  ClusterGraph g;
+  for (int i = 0; i < n; ++i) {
+    g.add_task(target_task({omp::inout(addr(i))}));
+  }
+  g.build_edges();
+  return g;
+}
+
+TEST(Heft, ChainStaysOnOneWorkerWhenCommIsExpensive) {
+  // Communication >> computation: moving the chain between workers would
+  // only add transfer time, so HEFT must keep it put.
+  ClusterGraph g = chain_graph(10, 1'000'000);
+  CostModel cost;
+  cost.latency_s = 1e-4;
+  cost.per_byte_s = 1e-8;  // 10 ms per edge vs 1 ms per task
+  const ScheduleResult r =
+      schedule(SchedulerKind::Heft, g, 4, cost, 1e-3);
+  for (std::size_t i = 1; i < g.size(); ++i) {
+    EXPECT_EQ(r.processor[i], r.processor[0]) << "task " << i << " migrated";
+  }
+}
+
+TEST(Heft, IndependentTasksSpreadAcrossWorkers) {
+  ClusterGraph g = independent_graph(16);
+  const ScheduleResult r =
+      schedule(SchedulerKind::Heft, g, 4, CostModel{}, 1e-3);
+  std::map<int, int> per_worker;
+  for (std::size_t i = 0; i < g.size(); ++i) ++per_worker[r.processor[i]];
+  EXPECT_EQ(per_worker.size(), 4u);
+  for (const auto& [w, count] : per_worker) {
+    EXPECT_GE(w, 0);
+    EXPECT_EQ(count, 4) << "load imbalance on worker " << w;
+  }
+}
+
+TEST(Heft, HostTasksPinnedToHead) {
+  ClusterGraph g;
+  ClusterTask host;
+  host.type = TaskType::Host;
+  host.host_fn = [] {};
+  host.deps = {omp::out(addr(0))};
+  g.add_task(std::move(host));
+  g.add_task(target_task({omp::in(addr(0))}));
+  g.build_edges();
+  const ScheduleResult r =
+      schedule(SchedulerKind::Heft, g, 3, CostModel{}, 1e-3);
+  EXPECT_EQ(r.processor[0], kHeadProc);
+  EXPECT_NE(r.processor[1], kHeadProc);
+}
+
+TEST(Heft, DataTasksPinnedToConsumerAndProducer) {
+  ClusterGraph g([](const void*) { return std::size_t{8}; });
+  ClusterTask enter;
+  enter.type = TaskType::DataEnter;
+  enter.buffer = addr(0);
+  enter.deps = {omp::out(addr(0))};
+  const int e = g.add_task(std::move(enter));
+  const int t = g.add_task(target_task({omp::inout(addr(0))}));
+  ClusterTask exit_task;
+  exit_task.type = TaskType::DataExit;
+  exit_task.buffer = addr(0);
+  exit_task.deps = {omp::inout(addr(0))};
+  const int x = g.add_task(std::move(exit_task));
+  g.build_edges();
+  const ScheduleResult r =
+      schedule(SchedulerKind::Heft, g, 4, CostModel{}, 1e-3);
+  // §4.4 adaptation 2: both data tasks co-scheduled with the target task.
+  EXPECT_EQ(r.processor[static_cast<std::size_t>(e)],
+            r.processor[static_cast<std::size_t>(t)]);
+  EXPECT_EQ(r.processor[static_cast<std::size_t>(x)],
+            r.processor[static_cast<std::size_t>(t)]);
+}
+
+TEST(Heft, MakespanEstimatePositiveAndBounded) {
+  ClusterGraph g = independent_graph(8);
+  const ScheduleResult r =
+      schedule(SchedulerKind::Heft, g, 2, CostModel{}, 1e-3);
+  // 8 tasks x 1 ms on 2 workers: between 4 ms (perfect) and 8 ms (serial).
+  EXPECT_GE(r.makespan_estimate_s, 0.004 - 1e-9);
+  EXPECT_LE(r.makespan_estimate_s, 0.008 + 1e-9);
+}
+
+class SimplePolicies : public ::testing::TestWithParam<SchedulerKind> {};
+
+TEST_P(SimplePolicies, EveryTargetTaskGetsAValidWorker) {
+  ClusterGraph g = independent_graph(13);
+  const ScheduleResult r = schedule(GetParam(), g, 5, CostModel{}, 1e-3, 42);
+  for (std::size_t i = 0; i < g.size(); ++i) {
+    EXPECT_GE(r.processor[i], 0);
+    EXPECT_LT(r.processor[i], 5);
+  }
+}
+
+TEST_P(SimplePolicies, SingleWorkerDegenerateCase) {
+  ClusterGraph g = chain_graph(5, 10);
+  const ScheduleResult r = schedule(GetParam(), g, 1, CostModel{}, 1e-3, 7);
+  for (std::size_t i = 0; i < g.size(); ++i) EXPECT_EQ(r.processor[i], 0);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllPolicies, SimplePolicies,
+                         ::testing::Values(SchedulerKind::Heft,
+                                           SchedulerKind::RoundRobin,
+                                           SchedulerKind::Random,
+                                           SchedulerKind::MinLoad));
+
+TEST(SimplePoliciesDetail, RoundRobinStripes) {
+  ClusterGraph g = independent_graph(8);
+  const ScheduleResult r =
+      schedule(SchedulerKind::RoundRobin, g, 4, CostModel{}, 1e-3);
+  for (std::size_t i = 0; i < 8; ++i)
+    EXPECT_EQ(r.processor[i], static_cast<int>(i % 4));
+}
+
+TEST(SimplePoliciesDetail, RandomIsSeedDeterministic) {
+  ClusterGraph g1 = independent_graph(20);
+  ClusterGraph g2 = independent_graph(20);
+  const auto r1 = schedule(SchedulerKind::Random, g1, 4, CostModel{}, 1e-3, 99);
+  const auto r2 = schedule(SchedulerKind::Random, g2, 4, CostModel{}, 1e-3, 99);
+  EXPECT_EQ(r1.processor, r2.processor);
+}
+
+TEST(CostModel, FromNetworkMatchesTransferTime) {
+  mpi::NetworkModel net{10'000, 1.0e9, 4};
+  const CostModel m = CostModel::from_network(net);
+  EXPECT_DOUBLE_EQ(m.latency_s, 1e-5);
+  // 1 MB at 1 GB/s = 1 ms + latency.
+  EXPECT_NEAR(m.comm_s(1'000'000), 1.01e-3, 1e-9);
+}
+
+}  // namespace
+}  // namespace ompc::core

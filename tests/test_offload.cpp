@@ -1,0 +1,227 @@
+// Offload substrate tests: mapping table semantics (libomptarget ref
+// counting), host plugin, kernel registry and the agnostic layer's
+// OpenMP map-clause behaviour.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "offload/agnostic.hpp"
+#include "offload/host_plugin.hpp"
+
+namespace ompc::offload {
+namespace {
+
+TEST(MappingTable, InsertFindTranslate) {
+  MappingTable t;
+  std::vector<double> host(100);
+  t.insert(host.data(), 100 * sizeof(double), 0x1000);
+  EXPECT_TRUE(t.contains(host.data()));
+  EXPECT_TRUE(t.contains(&host[99]));
+  EXPECT_FALSE(t.contains(host.data() + 100));
+  // Interior pointers translate with offset.
+  EXPECT_EQ(t.translate(&host[10]), 0x1000u + 10 * sizeof(double));
+  EXPECT_EQ(t.translate(host.data() + 100), 0u);
+}
+
+TEST(MappingTable, RefCountRetainRelease) {
+  MappingTable t;
+  int x = 0;
+  t.insert(&x, sizeof x, 0x2000);
+  t.retain(&x);
+  EXPECT_EQ(t.release(&x), std::nullopt);  // 2 -> 1: still mapped
+  const auto gone = t.release(&x);         // 1 -> 0: entry returned
+  ASSERT_TRUE(gone.has_value());
+  EXPECT_EQ(gone->target, 0x2000u);
+  EXPECT_FALSE(t.contains(&x));
+}
+
+TEST(MappingTable, OverlappingInsertFails) {
+  MappingTable t;
+  std::vector<char> buf(64);
+  t.insert(buf.data(), 64, 0x3000);
+  EXPECT_THROW(t.insert(buf.data() + 16, 8, 0x4000), CheckError);
+  EXPECT_THROW(t.insert(buf.data() - 1, 4, 0x5000), CheckError);
+}
+
+TEST(MappingTable, DisjointRangesCoexist) {
+  MappingTable t;
+  std::vector<char> a(16), b(16);
+  t.insert(a.data(), 16, 0x100);
+  t.insert(b.data(), 16, 0x200);
+  EXPECT_EQ(t.size(), 2u);
+  EXPECT_EQ(t.translate(a.data()), 0x100u);
+  EXPECT_EQ(t.translate(b.data()), 0x200u);
+}
+
+TEST(HostPlugin, AllocSubmitRetrieveDelete) {
+  HostPlugin plugin;
+  const TargetPtr p = plugin.data_alloc(0, 64);
+  ASSERT_NE(p, kNullTargetPtr);
+  EXPECT_EQ(plugin.live_allocations(), 1u);
+  std::vector<std::uint8_t> src(64, 0xAB), dst(64, 0);
+  plugin.data_submit(0, p, src.data(), 64);
+  plugin.data_retrieve(0, dst.data(), p, 64);
+  EXPECT_EQ(src, dst);
+  plugin.data_delete(0, p);
+  EXPECT_EQ(plugin.live_allocations(), 0u);
+}
+
+TEST(HostPlugin, ExchangeCopiesBetweenAllocations) {
+  HostPlugin plugin;
+  const TargetPtr a = plugin.data_alloc(0, 16);
+  const TargetPtr b = plugin.data_alloc(0, 16);
+  std::uint64_t v[2] = {7, 9};
+  plugin.data_submit(0, a, v, 16);
+  EXPECT_TRUE(plugin.data_exchange(0, a, 0, b, 16));
+  std::uint64_t out[2] = {};
+  plugin.data_retrieve(0, out, b, 16);
+  EXPECT_EQ(out[0], 7u);
+  EXPECT_EQ(out[1], 9u);
+  plugin.data_delete(0, a);
+  plugin.data_delete(0, b);
+}
+
+TEST(HostPlugin, DoubleFreeIsFatal) {
+  HostPlugin plugin;
+  const TargetPtr p = plugin.data_alloc(0, 8);
+  plugin.data_delete(0, p);
+  EXPECT_THROW(plugin.data_delete(0, p), CheckError);
+}
+
+TEST(KernelRegistry, RegisterLookupRun) {
+  auto& reg = KernelRegistry::instance();
+  int hits = 0;
+  const KernelId id = reg.register_kernel(
+      "offload_test_kernel", [&hits](KernelContext&) { ++hits; });
+  EXPECT_EQ(reg.lookup("offload_test_kernel"), id);
+  EXPECT_EQ(reg.name_of(id), "offload_test_kernel");
+  KernelContext ctx({}, {}, nullptr, 0);
+  reg.run(id, ctx);
+  EXPECT_EQ(hits, 1);
+}
+
+TEST(KernelRegistry, ReRegistrationReplacesKeepingId) {
+  auto& reg = KernelRegistry::instance();
+  const KernelId id1 =
+      reg.register_kernel("offload_replace_me", [](KernelContext&) {});
+  int called = 0;
+  const KernelId id2 = reg.register_kernel(
+      "offload_replace_me", [&called](KernelContext&) { ++called; });
+  EXPECT_EQ(id1, id2);
+  KernelContext ctx({}, {}, nullptr, 0);
+  reg.run(id2, ctx);
+  EXPECT_EQ(called, 1);
+}
+
+TEST(KernelRegistry, UnknownKernelThrows) {
+  auto& reg = KernelRegistry::instance();
+  EXPECT_EQ(reg.lookup("no_such_kernel"), kInvalidKernel);
+  KernelContext ctx({}, {}, nullptr, 0);
+  EXPECT_THROW(reg.run(999999, ctx), CheckError);
+}
+
+TEST(KernelContext, ScalarsRoundTripInOrder) {
+  ArchiveWriter w;
+  w.put<int>(42);
+  w.put<double>(2.5);
+  w.put<std::uint8_t>(7);
+  const Bytes blob = w.take();
+  KernelContext ctx({}, blob, nullptr, 3);
+  auto r = ctx.scalars();
+  EXPECT_EQ(r.get<int>(), 42);
+  EXPECT_DOUBLE_EQ(r.get<double>(), 2.5);
+  EXPECT_EQ(r.get<std::uint8_t>(), 7);
+  EXPECT_TRUE(r.exhausted());
+  EXPECT_EQ(ctx.device(), 3);
+}
+
+// --- agnostic layer ------------------------------------------------------
+
+class AgnosticLayer : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    plugin_ = std::make_shared<HostPlugin>();
+    first_dev_ = mgr_.register_plugin(plugin_);
+  }
+  OffloadManager mgr_;
+  std::shared_ptr<HostPlugin> plugin_;
+  int first_dev_ = 0;
+};
+
+TEST_F(AgnosticLayer, EnterExitDataRoundTrip) {
+  std::vector<float> host(32, 1.5f);
+  const MapClause m = map_tofrom(host.data(), 32 * sizeof(float));
+  mgr_.target_data_begin(first_dev_, {&m, 1});
+  EXPECT_EQ(mgr_.mapped_entries(first_dev_), 1u);
+  EXPECT_NE(mgr_.translate(first_dev_, host.data()), kNullTargetPtr);
+  mgr_.target_data_end(first_dev_, {&m, 1});
+  EXPECT_EQ(mgr_.mapped_entries(first_dev_), 0u);
+  EXPECT_EQ(plugin_->live_allocations(), 0u);
+}
+
+TEST_F(AgnosticLayer, RefCountedReentry) {
+  std::vector<int> host(8);
+  const MapClause to = map_to(host.data(), 8 * sizeof(int));
+  mgr_.target_data_begin(first_dev_, {&to, 1});
+  mgr_.target_data_begin(first_dev_, {&to, 1});  // count = 2
+  const MapClause rel = map_release(host.data(), 8 * sizeof(int));
+  mgr_.target_data_end(first_dev_, {&rel, 1});
+  EXPECT_EQ(mgr_.mapped_entries(first_dev_), 1u);  // still mapped
+  mgr_.target_data_end(first_dev_, {&rel, 1});
+  EXPECT_EQ(mgr_.mapped_entries(first_dev_), 0u);
+}
+
+TEST_F(AgnosticLayer, TargetRunsKernelOnMappedData) {
+  static const KernelId kDouble = KernelRegistry::instance().register_kernel(
+      "agnostic_double", [](KernelContext& ctx) {
+        auto* d = ctx.buffer<double>(0);
+        auto r = ctx.scalars();
+        const auto n = r.get<std::uint64_t>();
+        for (std::uint64_t i = 0; i < n; ++i) d[i] *= 2.0;
+      });
+  std::vector<double> host(16, 3.0);
+  const MapClause m = map_tofrom(host.data(), 16 * sizeof(double));
+  void* args[] = {host.data()};
+  ArchiveWriter w;
+  w.put<std::uint64_t>(16);
+  mgr_.target(first_dev_, kDouble, {&m, 1}, args, w.take());
+  for (double v : host) EXPECT_DOUBLE_EQ(v, 6.0);
+  EXPECT_EQ(mgr_.mapped_entries(first_dev_), 0u);
+}
+
+TEST_F(AgnosticLayer, TargetUpdateRefreshesLiveMapping) {
+  std::vector<int> host(4, 1);
+  const MapClause m = map_to(host.data(), 4 * sizeof(int));
+  mgr_.target_data_begin(first_dev_, {&m, 1});
+  host.assign(4, 9);
+  mgr_.target_update_to(first_dev_, host.data(), 4 * sizeof(int));
+  host.assign(4, 0);
+  mgr_.target_update_from(first_dev_, host.data(), 4 * sizeof(int));
+  for (int v : host) EXPECT_EQ(v, 9);
+  const MapClause rel = map_release(host.data(), 4 * sizeof(int));
+  mgr_.target_data_end(first_dev_, {&rel, 1});
+}
+
+TEST_F(AgnosticLayer, ExitOfUnmappedPointerFails) {
+  int x = 0;
+  const MapClause m = map_from(&x, sizeof x);
+  EXPECT_THROW(mgr_.target_data_end(first_dev_, {&m, 1}), CheckError);
+}
+
+TEST_F(AgnosticLayer, SecondPluginExtendsDeviceNumbering) {
+  auto second = std::make_shared<HostPlugin>();
+  const int dev2 = mgr_.register_plugin(second);
+  EXPECT_EQ(dev2, first_dev_ + 1);
+  EXPECT_EQ(mgr_.num_devices(), 2);
+  // Mapping on one device is invisible on the other.
+  std::vector<int> host(4);
+  const MapClause m = map_to(host.data(), 4 * sizeof(int));
+  mgr_.target_data_begin(dev2, {&m, 1});
+  EXPECT_EQ(mgr_.translate(first_dev_, host.data()), kNullTargetPtr);
+  EXPECT_NE(mgr_.translate(dev2, host.data()), kNullTargetPtr);
+  const MapClause rel = map_release(host.data(), 4 * sizeof(int));
+  mgr_.target_data_end(dev2, {&rel, 1});
+}
+
+}  // namespace
+}  // namespace ompc::offload

@@ -1,0 +1,51 @@
+// Property-based sweep: randomly shaped Task Bench specs (seeded, so
+// reproducible) must validate on every runtime — the broadest end-to-end
+// invariant in the suite: for any (pattern, steps, width, nodes, bytes),
+// checksum(runner) == checksum(sequential reference).
+#include <gtest/gtest.h>
+
+#include "common/rng.hpp"
+#include "taskbench/kernel.hpp"
+#include "taskbench/runners.hpp"
+
+namespace ompc::taskbench {
+namespace {
+
+struct RandomCase {
+  TaskBenchSpec spec;
+  int nodes;
+};
+
+RandomCase make_case(std::uint64_t seed) {
+  XorShift64 rng(seed);
+  RandomCase c;
+  c.spec.pattern =
+      all_patterns()[static_cast<std::size_t>(rng.next_below(4))];
+  c.spec.steps = 1 + static_cast<int>(rng.next_below(9));
+  c.spec.width = 1 + static_cast<int>(rng.next_below(12));
+  c.spec.iterations = 0;
+  c.spec.output_bytes = 16 + rng.next_below(200);
+  c.nodes = 1 + static_cast<int>(rng.next_below(5));
+  return c;
+}
+
+class RandomGraphs : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(RandomGraphs, AllRuntimesAgreeWithReference) {
+  const RandomCase c = make_case(GetParam());
+  const std::uint64_t expect = expected_checksum(c.spec);
+  SCOPED_TRACE(std::string("pattern=") + pattern_name(c.spec.pattern) +
+               " steps=" + std::to_string(c.spec.steps) +
+               " width=" + std::to_string(c.spec.width) +
+               " nodes=" + std::to_string(c.nodes) +
+               " bytes=" + std::to_string(c.spec.output_bytes));
+  for (const char* rt : {"ompc", "mpi", "starpu", "charm"}) {
+    EXPECT_EQ(run_named(rt, c.spec, c.nodes, {}).checksum, expect) << rt;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RandomGraphs,
+                         ::testing::Range<std::uint64_t>(1, 25));
+
+}  // namespace
+}  // namespace ompc::taskbench

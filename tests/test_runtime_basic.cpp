@@ -1,0 +1,207 @@
+// End-to-end tests of the OMPC runtime facade: offload round trips, depend
+// chains, write invalidation and multi-wave execution.
+#include <gtest/gtest.h>
+
+#include <numeric>
+#include <vector>
+
+#include "core/runtime.hpp"
+
+namespace ompc::core {
+namespace {
+
+using offload::KernelContext;
+using offload::KernelRegistry;
+
+// Kernels used across the runtime tests. Registered once; ids are stable
+// within the process.
+const offload::KernelId kScaleAdd = KernelRegistry::instance().register_kernel(
+    "test_scale_add", [](KernelContext& ctx) {
+      auto* data = ctx.buffer<double>(0);
+      auto r = ctx.scalars();
+      const auto n = r.get<std::uint64_t>();
+      const auto scale = r.get<double>();
+      const auto add = r.get<double>();
+      for (std::uint64_t i = 0; i < n; ++i) data[i] = data[i] * scale + add;
+    });
+
+const offload::KernelId kSum = KernelRegistry::instance().register_kernel(
+    "test_sum", [](KernelContext& ctx) {
+      const auto* src = ctx.buffer<double>(0);
+      auto* dst = ctx.buffer<double>(1);
+      auto r = ctx.scalars();
+      const auto n = r.get<std::uint64_t>();
+      double total = 0.0;
+      for (std::uint64_t i = 0; i < n; ++i) total += src[i];
+      dst[0] = total;
+    });
+
+ClusterOptions small_cluster(int workers) {
+  ClusterOptions o;
+  o.num_workers = workers;
+  o.helper_threads = 8;
+  o.network = {};  // instant network: unit tests run at memory speed
+  return o;
+}
+
+TEST(RuntimeBasic, RoundTripSingleTarget) {
+  std::vector<double> a(128);
+  std::iota(a.begin(), a.end(), 0.0);
+
+  launch(small_cluster(2), [&](Runtime& rt) {
+    rt.enter_data(a.data(), a.size() * sizeof(double));
+    rt.target({omp::inout(a.data())}, kScaleAdd,
+              Args().buf(a.data()).scalar<std::uint64_t>(a.size())
+                  .scalar(2.0).scalar(1.0));
+    rt.exit_data(a.data());
+  });
+
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_DOUBLE_EQ(a[i], static_cast<double>(i) * 2.0 + 1.0) << "i=" << i;
+  }
+}
+
+TEST(RuntimeBasic, ChainOfDependentTargets) {
+  std::vector<double> a(64, 1.0);
+
+  launch(small_cluster(3), [&](Runtime& rt) {
+    rt.enter_data(a.data(), a.size() * sizeof(double));
+    for (int step = 0; step < 5; ++step) {
+      rt.target({omp::inout(a.data())}, kScaleAdd,
+                Args().buf(a.data()).scalar<std::uint64_t>(a.size())
+                    .scalar(2.0).scalar(0.0));
+    }
+    rt.exit_data(a.data());
+  });
+
+  for (double v : a) EXPECT_DOUBLE_EQ(v, 32.0);  // 1 * 2^5
+}
+
+TEST(RuntimeBasic, ProducerConsumerAcrossBuffers) {
+  std::vector<double> src(100);
+  std::iota(src.begin(), src.end(), 1.0);
+  std::vector<double> dst(1, 0.0);
+  const double expect = std::accumulate(src.begin(), src.end(), 0.0);
+
+  launch(small_cluster(2), [&](Runtime& rt) {
+    rt.enter_data(src.data(), src.size() * sizeof(double));
+    rt.enter_data(dst.data(), sizeof(double));
+    rt.target({omp::inout(src.data())}, kScaleAdd,
+              Args().buf(src.data()).scalar<std::uint64_t>(src.size())
+                  .scalar(1.0).scalar(0.0));
+    rt.target({omp::in(src.data()), omp::inout(dst.data())}, kSum,
+              Args().buf(src.data()).buf(dst.data())
+                  .scalar<std::uint64_t>(src.size()));
+    rt.exit_data(dst.data());
+    rt.exit_data(src.data());
+  });
+
+  EXPECT_DOUBLE_EQ(dst[0], expect);
+}
+
+TEST(RuntimeBasic, MultipleWavesReuseBuffers) {
+  std::vector<double> a(32, 1.0);
+
+  launch(small_cluster(2), [&](Runtime& rt) {
+    rt.enter_data(a.data(), a.size() * sizeof(double));
+    rt.target({omp::inout(a.data())}, kScaleAdd,
+              Args().buf(a.data()).scalar<std::uint64_t>(a.size())
+                  .scalar(3.0).scalar(0.0));
+    rt.wait_all();  // wave 1
+
+    rt.target({omp::inout(a.data())}, kScaleAdd,
+              Args().buf(a.data()).scalar<std::uint64_t>(a.size())
+                  .scalar(0.0).scalar(7.0));
+    rt.exit_data(a.data());
+    rt.wait_all();  // wave 2
+
+    EXPECT_EQ(rt.stats().waves, 2);
+  });
+
+  for (double v : a) EXPECT_DOUBLE_EQ(v, 7.0);
+}
+
+TEST(RuntimeBasic, HostTaskRunsOnHeadAndOrders) {
+  std::vector<double> a(16, 2.0);
+  bool host_ran = false;
+
+  launch(small_cluster(2), [&](Runtime& rt) {
+    rt.enter_data(a.data(), a.size() * sizeof(double));
+    rt.target({omp::inout(a.data())}, kScaleAdd,
+              Args().buf(a.data()).scalar<std::uint64_t>(a.size())
+                  .scalar(2.0).scalar(0.0));
+    rt.exit_data(a.data());
+    // Host task ordered after the exit-data by its dependence.
+    rt.host_task([&] { host_ran = a[0] == 4.0; }, {omp::in(a.data())});
+  });
+
+  EXPECT_TRUE(host_ran);
+}
+
+TEST(RuntimeBasic, ManyIndependentTasksAllExecute) {
+  constexpr int kTasks = 40;
+  std::vector<std::vector<double>> bufs(kTasks, std::vector<double>(8, 1.0));
+
+  const RuntimeStats stats = launch(small_cluster(4), [&](Runtime& rt) {
+    for (auto& b : bufs) {
+      rt.enter_data(b.data(), b.size() * sizeof(double));
+      rt.target({omp::inout(b.data())}, kScaleAdd,
+                Args().buf(b.data()).scalar<std::uint64_t>(b.size())
+                    .scalar(5.0).scalar(0.0));
+      rt.exit_data(b.data());
+    }
+  });
+
+  EXPECT_EQ(stats.target_tasks, kTasks);
+  for (const auto& b : bufs) {
+    for (double v : b) EXPECT_DOUBLE_EQ(v, 5.0);
+  }
+}
+
+TEST(RuntimeBasic, StatsAreCoherent) {
+  std::vector<double> a(16, 1.0);
+  const RuntimeStats stats = launch(small_cluster(2), [&](Runtime& rt) {
+    rt.enter_data(a.data(), a.size() * sizeof(double));
+    rt.target({omp::inout(a.data())}, kScaleAdd,
+              Args().buf(a.data()).scalar<std::uint64_t>(a.size())
+                  .scalar(1.0).scalar(1.0));
+    rt.exit_data(a.data());
+  });
+
+  EXPECT_EQ(stats.waves, 1);
+  EXPECT_EQ(stats.target_tasks, 1);
+  EXPECT_EQ(stats.data_tasks, 2);
+  EXPECT_GT(stats.events_originated, 0);
+  EXPECT_GT(stats.bytes_moved, 0);
+  EXPECT_GT(stats.wall_ns, 0);
+  EXPECT_GE(stats.startup_ns, 0);
+  EXPECT_GT(stats.messages_sent, 0);
+}
+
+TEST(RuntimeBasic, TargetWithoutEnterFails) {
+  std::vector<double> a(4, 0.0);
+  EXPECT_THROW(
+      launch(small_cluster(1),
+             [&](Runtime& rt) {
+               rt.target({omp::inout(a.data())}, kScaleAdd,
+                         Args().buf(a.data()).scalar<std::uint64_t>(4)
+                             .scalar(1.0).scalar(0.0));
+             }),
+      CheckError);
+}
+
+TEST(RuntimeBasic, BufferArgMissingFromDependsFails) {
+  std::vector<double> a(4, 0.0);
+  EXPECT_THROW(
+      launch(small_cluster(1),
+             [&](Runtime& rt) {
+               rt.enter_data(a.data(), a.size() * sizeof(double));
+               rt.target({}, kScaleAdd,
+                         Args().buf(a.data()).scalar<std::uint64_t>(4)
+                             .scalar(1.0).scalar(0.0));
+             }),
+      CheckError);
+}
+
+}  // namespace
+}  // namespace ompc::core

@@ -1,0 +1,163 @@
+// Runtime configuration-space tests: async modes, schedulers, forwarding
+// policies, helper-thread ceilings, VCI counts and simulated networks, all
+// validated end-to-end through Task Bench checksums.
+#include <gtest/gtest.h>
+
+#include "taskbench/kernel.hpp"
+#include "taskbench/runners.hpp"
+
+namespace ompc::core {
+namespace {
+
+using taskbench::expected_checksum;
+using taskbench::Pattern;
+using taskbench::run_ompc;
+using taskbench::TaskBenchSpec;
+
+TaskBenchSpec spec_of(Pattern p, int steps = 5, int width = 6) {
+  TaskBenchSpec s;
+  s.pattern = p;
+  s.steps = steps;
+  s.width = width;
+  s.iterations = 0;
+  s.output_bytes = 64;
+  return s;
+}
+
+ClusterOptions base_opts(int workers) {
+  ClusterOptions o;
+  o.num_workers = workers;
+  o.network = {};
+  return o;
+}
+
+class AsyncModes : public ::testing::TestWithParam<AsyncMode> {};
+
+TEST_P(AsyncModes, StencilValidUnderMode) {
+  const TaskBenchSpec s = spec_of(Pattern::Stencil1D);
+  ClusterOptions o = base_opts(3);
+  o.async_mode = GetParam();
+  EXPECT_EQ(run_ompc(s, o).checksum, expected_checksum(s));
+}
+
+INSTANTIATE_TEST_SUITE_P(Both, AsyncModes,
+                         ::testing::Values(AsyncMode::HelperThreads,
+                                           AsyncMode::TwoStep));
+
+class Schedulers : public ::testing::TestWithParam<SchedulerKind> {};
+
+TEST_P(Schedulers, FftValidUnderEveryPolicy) {
+  const TaskBenchSpec s = spec_of(Pattern::Fft, 5, 8);
+  ClusterOptions o = base_opts(3);
+  o.scheduler = GetParam();
+  EXPECT_EQ(run_ompc(s, o).checksum, expected_checksum(s));
+}
+
+INSTANTIATE_TEST_SUITE_P(All, Schedulers,
+                         ::testing::Values(SchedulerKind::Heft,
+                                           SchedulerKind::RoundRobin,
+                                           SchedulerKind::Random,
+                                           SchedulerKind::MinLoad));
+
+TEST(RuntimeModes, ViaHeadForwardingProducesSameResult) {
+  const TaskBenchSpec s = spec_of(Pattern::Stencil1D);
+  ClusterOptions o = base_opts(3);
+  o.forwarding = Forwarding::ViaHead;
+  const auto r = run_ompc(s, o);
+  EXPECT_EQ(r.checksum, expected_checksum(s));
+  EXPECT_EQ(r.stats.exchanges, 0);  // never worker->worker
+  EXPECT_GT(r.stats.retrieves, 0);
+}
+
+TEST(RuntimeModes, DirectForwardingUsesExchanges) {
+  const TaskBenchSpec s = spec_of(Pattern::Stencil1D);
+  const auto r = run_ompc(s, base_opts(3));
+  EXPECT_EQ(r.checksum, expected_checksum(s));
+  EXPECT_GT(r.stats.exchanges, 0);
+}
+
+TEST(RuntimeModes, SingleHelperThreadStillCompletes) {
+  // One in-flight target region at a time: fully serialized dispatch.
+  const TaskBenchSpec s = spec_of(Pattern::Tree, 4, 8);
+  ClusterOptions o = base_opts(2);
+  o.helper_threads = 1;
+  EXPECT_EQ(run_ompc(s, o).checksum, expected_checksum(s));
+}
+
+TEST(RuntimeModes, WidthBeyondHelperCeilingCompletes) {
+  TaskBenchSpec s = spec_of(Pattern::Trivial, 2, 24);
+  ClusterOptions o = base_opts(4);
+  o.helper_threads = 4;  // 24 ready tasks, 4 in flight
+  EXPECT_EQ(run_ompc(s, o).checksum, expected_checksum(s));
+}
+
+TEST(RuntimeModes, SingleVciWorks) {
+  const TaskBenchSpec s = spec_of(Pattern::Fft, 4, 4);
+  ClusterOptions o = base_opts(2);
+  o.vci = 1;
+  EXPECT_EQ(run_ompc(s, o).checksum, expected_checksum(s));
+}
+
+TEST(RuntimeModes, ManyVcisWork) {
+  const TaskBenchSpec s = spec_of(Pattern::Fft, 4, 4);
+  ClusterOptions o = base_opts(2);
+  o.vci = 16;
+  EXPECT_EQ(run_ompc(s, o).checksum, expected_checksum(s));
+}
+
+TEST(RuntimeModes, SimulatedNetworkDoesNotChangeResults) {
+  const TaskBenchSpec s = spec_of(Pattern::Stencil1D, 4, 6);
+  ClusterOptions o = base_opts(3);
+  o.network = {10'000, 1.0e9, 4};  // 10 us, 1 GB/s
+  const auto r = run_ompc(s, o);
+  EXPECT_EQ(r.checksum, expected_checksum(s));
+}
+
+TEST(RuntimeModes, SingleWorkerClusterIsCorrect) {
+  for (Pattern p :
+       {Pattern::Trivial, Pattern::Stencil1D, Pattern::Fft, Pattern::Tree}) {
+    const TaskBenchSpec s = spec_of(p, 4, 4);
+    EXPECT_EQ(run_ompc(s, base_opts(1)).checksum, expected_checksum(s))
+        << taskbench::pattern_name(p);
+  }
+}
+
+TEST(RuntimeModes, ManyWorkersFewTasks) {
+  // More workers than tasks: schedulers must not index out of range and
+  // idle workers must shut down cleanly.
+  const TaskBenchSpec s = spec_of(Pattern::Trivial, 1, 3);
+  EXPECT_EQ(run_ompc(s, base_opts(8)).checksum, expected_checksum(s));
+}
+
+TEST(RuntimeModes, BusyKernelModeMatchesSleepChecksum) {
+  TaskBenchSpec s = spec_of(Pattern::Stencil1D, 3, 4);
+  s.iterations = 10'000;
+  s.mode = taskbench::KernelMode::Busy;
+  const auto busy = run_ompc(s, base_opts(2));
+  s.mode = taskbench::KernelMode::Sleep;
+  const auto sleep = run_ompc(s, base_opts(2));
+  // The compute mode must never affect the dataflow result.
+  EXPECT_EQ(busy.checksum, sleep.checksum);
+  EXPECT_EQ(busy.checksum, expected_checksum(s));
+}
+
+TEST(RuntimeModes, StatsDifferentiateForwardingPolicies) {
+  const TaskBenchSpec s = spec_of(Pattern::Stencil1D, 6, 6);
+  ClusterOptions direct = base_opts(3);
+  ClusterOptions viahead = base_opts(3);
+  viahead.forwarding = Forwarding::ViaHead;
+  const auto rd = run_ompc(s, direct);
+  const auto rv = run_ompc(s, viahead);
+  // ViaHead moves every forwarded buffer twice (retrieve + submit).
+  EXPECT_GT(rv.stats.bytes_moved, rd.stats.bytes_moved);
+}
+
+TEST(RuntimeModes, LargeGraphSmokesThrough) {
+  TaskBenchSpec s = spec_of(Pattern::Fft, 16, 32);
+  const auto r = run_ompc(s, base_opts(8));
+  EXPECT_EQ(r.checksum, expected_checksum(s));
+  EXPECT_EQ(r.stats.target_tasks, 16 * 32);
+}
+
+}  // namespace
+}  // namespace ompc::core

@@ -1,0 +1,227 @@
+// Task Bench pattern properties (the paper's Fig. 4) and kernel
+// determinism: structural invariants checked across widths and steps with
+// parameterized sweeps.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "taskbench/kernel.hpp"
+#include "taskbench/spec.hpp"
+
+namespace ompc::taskbench {
+namespace {
+
+TaskBenchSpec make(Pattern p, int steps, int width) {
+  TaskBenchSpec s;
+  s.pattern = p;
+  s.steps = steps;
+  s.width = width;
+  return s;
+}
+
+TEST(Pattern, NamesRoundTrip) {
+  for (Pattern p : all_patterns()) {
+    EXPECT_EQ(pattern_from_name(pattern_name(p)), p);
+  }
+  EXPECT_THROW(pattern_from_name("bogus"), CheckError);
+}
+
+TEST(Pattern, FirstStepNeverHasDependencies) {
+  for (Pattern p : all_patterns()) {
+    const TaskBenchSpec s = make(p, 4, 16);
+    for (int i = 0; i < s.width; ++i) {
+      EXPECT_TRUE(dependencies(s, 0, i).empty());
+    }
+  }
+}
+
+TEST(Pattern, TrivialHasNoDependenciesAnywhere) {
+  const TaskBenchSpec s = make(Pattern::Trivial, 8, 8);
+  for (int t = 0; t < s.steps; ++t)
+    for (int i = 0; i < s.width; ++i)
+      EXPECT_TRUE(dependencies(s, t, i).empty());
+}
+
+TEST(Pattern, StencilIsThreePointPeriodic) {
+  const TaskBenchSpec s = make(Pattern::Stencil1D, 4, 8);
+  EXPECT_EQ(dependencies(s, 1, 3), (std::vector<int>{2, 3, 4}));
+  // Periodic wrap at both ends.
+  EXPECT_EQ(dependencies(s, 1, 0), (std::vector<int>{0, 1, 7}));
+  EXPECT_EQ(dependencies(s, 1, 7), (std::vector<int>{0, 6, 7}));
+}
+
+TEST(Pattern, StencilDegenerateWidths) {
+  // Width 1: all neighbours collapse to the point itself.
+  EXPECT_EQ(dependencies(make(Pattern::Stencil1D, 2, 1), 1, 0),
+            (std::vector<int>{0}));
+  // Width 2: wrap makes exactly two distinct deps.
+  EXPECT_EQ(dependencies(make(Pattern::Stencil1D, 2, 2), 1, 0),
+            (std::vector<int>{0, 1}));
+}
+
+TEST(Pattern, FftButterflyDistanceDoublesPerStep) {
+  const TaskBenchSpec s = make(Pattern::Fft, 4, 8);  // log2(8)=3 levels
+  EXPECT_EQ(dependencies(s, 1, 0), (std::vector<int>{0, 1}));  // dist 1
+  EXPECT_EQ(dependencies(s, 2, 0), (std::vector<int>{0, 2}));  // dist 2
+  EXPECT_EQ(dependencies(s, 3, 0), (std::vector<int>{0, 4}));  // dist 4
+}
+
+TEST(Pattern, FftPartnersAreSymmetric) {
+  const TaskBenchSpec s = make(Pattern::Fft, 4, 16);
+  for (int t = 1; t < s.steps; ++t) {
+    for (int i = 0; i < s.width; ++i) {
+      for (int j : dependencies(s, t, i)) {
+        if (j == i) continue;
+        const auto back = dependencies(s, t, j);
+        EXPECT_TRUE(std::find(back.begin(), back.end(), i) != back.end())
+            << "asymmetric butterfly at t=" << t << " i=" << i;
+      }
+    }
+  }
+}
+
+TEST(Pattern, TreeParentIsHalf) {
+  const TaskBenchSpec s = make(Pattern::Tree, 3, 8);
+  EXPECT_EQ(dependencies(s, 1, 0), (std::vector<int>{0}));
+  EXPECT_EQ(dependencies(s, 1, 5), (std::vector<int>{2}));
+  EXPECT_EQ(dependencies(s, 1, 7), (std::vector<int>{3}));
+}
+
+TEST(Pattern, TreeConsumersAreChildren) {
+  const TaskBenchSpec s = make(Pattern::Tree, 3, 8);
+  EXPECT_EQ(consumers(s, 0, 1), (std::vector<int>{2, 3}));
+  EXPECT_EQ(consumers(s, 0, 3), (std::vector<int>{6, 7}));
+  // Point 0's children include itself (0/2 == 0): self not removed here,
+  // the runner layer treats self-edges as local state.
+  const auto c0 = consumers(s, 0, 0);
+  EXPECT_TRUE(std::find(c0.begin(), c0.end(), 1) != c0.end());
+}
+
+class PatternSweep
+    : public ::testing::TestWithParam<std::tuple<Pattern, int, int>> {};
+
+TEST_P(PatternSweep, DependenciesInBoundsSortedUnique) {
+  const auto& [pattern, steps, width] = GetParam();
+  const TaskBenchSpec s = make(pattern, steps, width);
+  for (int t = 0; t < steps; ++t) {
+    for (int i = 0; i < width; ++i) {
+      const auto deps = dependencies(s, t, i);
+      EXPECT_TRUE(std::is_sorted(deps.begin(), deps.end()));
+      EXPECT_TRUE(std::adjacent_find(deps.begin(), deps.end()) == deps.end());
+      for (int j : deps) {
+        EXPECT_GE(j, 0);
+        EXPECT_LT(j, width);
+      }
+    }
+  }
+}
+
+TEST_P(PatternSweep, ConsumersAreTheExactDualOfDependencies) {
+  const auto& [pattern, steps, width] = GetParam();
+  const TaskBenchSpec s = make(pattern, steps, width);
+  for (int t = 0; t + 1 < steps; ++t) {
+    for (int i = 0; i < width; ++i) {
+      for (int c : consumers(s, t, i)) {
+        const auto deps = dependencies(s, t + 1, c);
+        EXPECT_TRUE(std::find(deps.begin(), deps.end(), i) != deps.end());
+      }
+      // And the reverse direction.
+      for (int j = 0; j < width; ++j) {
+        const auto deps = dependencies(s, t + 1, j);
+        if (std::find(deps.begin(), deps.end(), i) != deps.end()) {
+          const auto cons = consumers(s, t, i);
+          EXPECT_TRUE(std::find(cons.begin(), cons.end(), j) != cons.end());
+        }
+      }
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Shapes, PatternSweep,
+    ::testing::Combine(::testing::Values(Pattern::Trivial, Pattern::Stencil1D,
+                                         Pattern::Fft, Pattern::Tree),
+                       ::testing::Values(2, 5),
+                       ::testing::Values(1, 2, 7, 8, 16)),
+    [](const auto& info) {
+      return std::string(pattern_name(std::get<0>(info.param))) + "_s" +
+             std::to_string(std::get<1>(info.param)) + "_w" +
+             std::to_string(std::get<2>(info.param));
+    });
+
+TEST(CcrBytes, InverseToCcrAndClamped) {
+  mpi::NetworkModel net{10'000, 100.0e6, 1};  // 10 us, 100 MB/s
+  // 10 ms task at CCR 1.0: comm 10 ms => ~1 MB (minus latency).
+  const std::size_t b1 = bytes_for_ccr(0.010, 1.0, net);
+  EXPECT_NEAR(static_cast<double>(b1), 999'000.0, 2'000.0);
+  // CCR 2.0 halves the data; CCR 0.5 doubles it.
+  EXPECT_GT(bytes_for_ccr(0.010, 0.5, net), b1);
+  EXPECT_LT(bytes_for_ccr(0.010, 2.0, net), b1);
+  // Degenerate: comm budget below latency clamps to the 16-byte floor.
+  EXPECT_EQ(bytes_for_ccr(1e-9, 10.0, net), 16u);
+}
+
+TEST(Kernel, DigestDependsOnCoordinatesAndInputs) {
+  TaskBenchSpec s;
+  s.iterations = 0;
+  s.output_bytes = 32;
+  Bytes out1(32), out2(32), out3(32);
+  const std::uint64_t in1[] = {1};
+  const std::uint64_t in2[] = {2};
+  point_compute(s, 1, 2, std::span<const std::uint64_t>(in1, 1), out1);
+  point_compute(s, 1, 3, std::span<const std::uint64_t>(in1, 1), out2);
+  point_compute(s, 1, 2, std::span<const std::uint64_t>(in2, 1), out3);
+  EXPECT_NE(read_digest(out1), read_digest(out2));  // coordinate sensitivity
+  EXPECT_NE(read_digest(out1), read_digest(out3));  // input sensitivity
+}
+
+TEST(Kernel, DigestDeterministicAcrossCalls) {
+  TaskBenchSpec s;
+  s.iterations = 0;
+  s.output_bytes = 64;
+  Bytes a(64), b(64);
+  point_compute(s, 3, 4, {}, a);
+  point_compute(s, 3, 4, {}, b);
+  EXPECT_EQ(a, b);
+}
+
+TEST(Kernel, CombineDigestsIsOrderIndependent) {
+  const std::uint64_t d1[] = {5, 9, 1};
+  const std::uint64_t d2[] = {1, 5, 9};
+  EXPECT_EQ(combine_digests(d1), combine_digests(d2));
+}
+
+TEST(Kernel, BusyBurnReturnsStableNoise) {
+  EXPECT_EQ(burn(KernelMode::Busy, 1000), burn(KernelMode::Busy, 1000));
+  EXPECT_NE(burn(KernelMode::Busy, 1000), burn(KernelMode::Busy, 1001));
+  EXPECT_EQ(burn(KernelMode::Busy, 0), 0u);
+}
+
+TEST(Kernel, SleepBurnTakesCalibratedTime) {
+  const Stopwatch timer;
+  burn(KernelMode::Sleep, 1'000'000);  // 5 ms at 5 ns/iter
+  const double ms = timer.elapsed_ms();
+  EXPECT_GE(ms, 4.5);
+  EXPECT_LE(ms, 25.0);  // generous upper bound for a loaded CI machine
+}
+
+TEST(Kernel, ExpectedChecksumMatchesKnownStructure) {
+  // Changing any spec dimension must change the reference checksum.
+  TaskBenchSpec a = make(Pattern::Stencil1D, 4, 8);
+  TaskBenchSpec b = make(Pattern::Stencil1D, 5, 8);
+  TaskBenchSpec c = make(Pattern::Stencil1D, 4, 9);
+  TaskBenchSpec d = make(Pattern::Fft, 4, 8);
+  EXPECT_NE(expected_checksum(a), expected_checksum(b));
+  EXPECT_NE(expected_checksum(a), expected_checksum(c));
+  EXPECT_NE(expected_checksum(a), expected_checksum(d));
+  EXPECT_EQ(expected_checksum(a), expected_checksum(a));
+}
+
+TEST(Render, PatternRenderingMentionsDependencies) {
+  const std::string r = render_pattern(Pattern::Stencil1D, 4, 2);
+  EXPECT_NE(r.find("stencil_1d"), std::string::npos);
+  EXPECT_NE(r.find("<-"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace ompc::taskbench
