@@ -1,0 +1,177 @@
+// Ablation: fault-tolerance cost (paper §5) — checkpoint overhead in
+// steady state and recovery cost after a mid-run worker failure, as a
+// function of the checkpoint period.
+//
+// The workload is Task Bench stencil executed stepwise (one wave per step),
+// so `checkpoint_period = k` snapshots the buffer state every k steps.
+// Three measurements:
+//   1. failure-free wall time vs period (the checkpoint tax: retrieving
+//      worker-resident buffers to the head at each boundary);
+//   2. wall time when one of the workers dies mid-run (rollback + replay
+//      of the waves since the last boundary);
+//   3. the recovery bookkeeping itself (replayed tasks, checkpoint bytes).
+// Expected shape: steady-state cost falls as the period grows, recovery
+// cost rises — the classic checkpoint-interval trade-off.
+#include "bench_util.hpp"
+#include "taskbench/kernel.hpp"
+
+namespace {
+
+using namespace ompc;
+using namespace ompc::taskbench;
+
+/// Same point kernel as the OMPC runner (buffers[0] = output, buffers[1..]
+/// = inputs), registered under a bench-local id.
+const offload::KernelId kPoint =
+    offload::KernelRegistry::instance().register_kernel(
+        "ablation_recovery_point", [](offload::KernelContext& ctx) {
+          auto r = ctx.scalars();
+          const int t = r.get<int>();
+          const int i = r.get<int>();
+          const auto mode = r.get<KernelMode>();
+          const auto iterations = r.get<std::int64_t>();
+          const auto out_bytes = r.get<std::uint64_t>();
+          std::vector<std::uint64_t> ins;
+          ins.reserve(ctx.num_buffers() - 1);
+          for (std::size_t b = 1; b < ctx.num_buffers(); ++b)
+            ins.push_back(read_digest(
+                std::span<const std::byte>(ctx.buffer<std::byte>(b), 8)));
+          TaskBenchSpec k;
+          k.mode = mode;
+          k.iterations = iterations;
+          k.output_bytes = out_bytes;
+          point_compute(k, t, i, ins,
+                        std::span<std::byte>(ctx.buffer<std::byte>(0),
+                                             out_bytes));
+        });
+
+/// Task Bench with one wait_all() per step — the wave-per-step execution
+/// the checkpoint period is defined over.
+RunResult run_ompc_stepwise(const TaskBenchSpec& spec,
+                            const core::ClusterOptions& opts) {
+  const auto w = static_cast<std::size_t>(spec.width);
+  const std::size_t out_bytes = std::max<std::size_t>(16, spec.output_bytes);
+  std::vector<std::vector<Bytes>> rows(2, std::vector<Bytes>(w));
+  for (auto& row : rows)
+    for (auto& b : row) b.assign(out_bytes, std::byte{0});
+
+  RunResult result;
+  result.stats = core::launch(opts, [&](core::Runtime& rt) {
+    for (auto& row : rows)
+      for (auto& b : row) rt.enter_data(b.data(), b.size());
+    for (int t = 0; t < spec.steps; ++t) {
+      auto& cur = rows[static_cast<std::size_t>(t % 2)];
+      auto& prev = rows[static_cast<std::size_t>((t + 1) % 2)];
+      for (int i = 0; i < spec.width; ++i) {
+        core::Args args;
+        omp::DepList deps;
+        Bytes& out = cur[static_cast<std::size_t>(i)];
+        args.buf(out.data());
+        deps.push_back(omp::inout(out.data()));
+        for (int j : dependencies(spec, t, i)) {
+          Bytes& in = prev[static_cast<std::size_t>(j)];
+          args.buf(in.data());
+          deps.push_back(omp::in(in.data()));
+        }
+        args.scalar(t).scalar(i).scalar(spec.mode).scalar(spec.iterations)
+            .scalar<std::uint64_t>(out_bytes);
+        rt.target(std::move(deps), kPoint, std::move(args),
+                  spec.task_seconds());
+      }
+      rt.wait_all();  // one wave per step
+    }
+    const auto final_row = static_cast<std::size_t>((spec.steps - 1) % 2);
+    for (std::size_t p = 0; p < 2; ++p)
+      for (auto& b : rows[p]) rt.exit_data(b.data(), p == final_row);
+  });
+
+  result.wall_s = ns_to_s(result.stats.wall_ns);
+  std::vector<std::uint64_t> digests;
+  digests.reserve(w);
+  for (const Bytes& b : rows[static_cast<std::size_t>((spec.steps - 1) % 2)])
+    digests.push_back(read_digest(b));
+  result.checksum = combine_digests(digests);
+  return result;
+}
+
+}  // namespace
+
+int main() {
+  const mpi::NetworkModel net = bench::bench_network();
+
+  TaskBenchSpec spec;
+  spec.pattern = Pattern::Stencil1D;
+  spec.steps = 12;
+  spec.width = 8;
+  spec.iterations = 1'000'000;  // 5 ms per task -> ~10 ms waves on 4 nodes
+  spec.mode = KernelMode::Sleep;
+  spec.output_bytes = 4096;
+
+  std::printf("=== Ablation: checkpoint period vs recovery cost — stencil, "
+              "4 nodes, %dx%d stepwise, 5 ms tasks, %d reps ===\n",
+              spec.steps, spec.width, bench::repetitions());
+
+  core::ClusterOptions base;
+  base.num_workers = 4;
+  base.network = net;
+  base.heartbeat_period_ms = 5;
+  base.heartbeat_timeout_ms = 50;
+
+  // Kill one worker roughly mid-run (waves are ~10-15 ms each).
+  const std::int64_t kill_at_ns = 80'000'000;
+
+  Table table({"checkpoint period", "no-failure (s)", "1 kill (s)",
+               "replayed tasks", "ckpt MB"});
+  for (int period : {0, 1, 2, 4, 8}) {
+    core::ClusterOptions opts = base;
+    opts.checkpoint_period = period;
+
+    const RunningStats healthy = bench::timed_runs(
+        spec, [&] { return run_ompc_stepwise(spec, opts); });
+
+    std::string killed;
+    std::string replayed = "-";
+    std::string ckpt_mb = "0";
+    if (period == 0) {
+      // No checkpoint to recover from: the kill must surface as a clean
+      // RecoveryError (measured, not assumed).
+      core::ClusterOptions kopts = opts;
+      kopts.kills.push_back({2, kill_at_ns});
+      try {
+        (void)run_ompc_stepwise(spec, kopts);
+        std::fprintf(stderr, "expected RecoveryError with period 0\n");
+        return 1;
+      } catch (const core::RecoveryError&) {
+        killed = "RecoveryError";
+      }
+    } else {
+      core::ClusterOptions kopts = opts;
+      kopts.kills.push_back({2, kill_at_ns});
+      RunningStats k;
+      std::int64_t replayed_tasks = 0;
+      std::int64_t ckpt_bytes = 0;
+      const std::uint64_t expect = expected_checksum(spec);
+      for (int rep = 0; rep < bench::repetitions(); ++rep) {
+        const RunResult r = run_ompc_stepwise(spec, kopts);
+        if (r.checksum != expect) {
+          std::fprintf(stderr, "VALIDATION FAILED after recovery\n");
+          return 1;
+        }
+        k.add(r.wall_s);
+        replayed_tasks += r.stats.replayed_tasks;
+        ckpt_bytes = r.stats.checkpoint_bytes;
+      }
+      killed = bench::mean_pm_dev(k);
+      replayed = Table::num(
+          static_cast<double>(replayed_tasks) / bench::repetitions(), 1);
+      ckpt_mb = Table::num(static_cast<double>(ckpt_bytes) / 1e6, 2);
+    }
+    table.add_row({period == 0 ? "off" : Table::num(period, 0),
+                   bench::mean_pm_dev(healthy), killed, replayed, ckpt_mb});
+  }
+  table.print(std::cout);
+  std::printf(
+      "\n(expected: steady-state overhead falls and recovery work rises "
+      "with the period — §5's checkpoint-interval trade-off)\n");
+  return 0;
+}

@@ -1,0 +1,44 @@
+#include "core/checkpoint.hpp"
+
+#include <cstring>
+
+#include "common/time.hpp"
+
+namespace ompc::core {
+
+void CheckpointStore::capture(DataManager& dm, std::int64_t wave) {
+  const Stopwatch timer;
+  // Build aside and commit atomically: a worker can die mid-capture (the
+  // refresh_head retrieve throws), and recovery then rolls back to the
+  // PREVIOUS snapshot — which must still be intact.
+  std::vector<Entry> fresh;
+  std::int64_t bytes = 0;
+  dm.for_each_buffer([&](void* host, std::size_t size) {
+    // The freshest copy may live on a worker; pull it home. Worker replicas
+    // stay valid (a checkpoint read must not perturb placement).
+    dm.refresh_head(host);
+    Entry e;
+    e.host = host;
+    e.size = size;
+    e.data.resize(size);
+    std::memcpy(e.data.data(), host, size);
+    bytes += static_cast<std::int64_t>(size);
+    fresh.push_back(std::move(e));
+  });
+  entries_ = std::move(fresh);
+  wave_ = wave;
+  have_ = true;
+  ++stats_.captures;
+  stats_.bytes_captured += bytes;
+  stats_.capture_ns += timer.elapsed_ns();
+}
+
+void CheckpointStore::restore(DataManager& dm) {
+  for (const Entry& e : entries_) {
+    dm.restore_buffer(e.host, e.size,
+                      std::span<const std::byte>(e.data.data(), e.size));
+  }
+  ++stats_.restores;
+}
+
+}  // namespace ompc::core

@@ -1,0 +1,70 @@
+// Wave-boundary checkpointing (paper §5).
+//
+// The paper couples its heartbeat fault *detection* with checkpointing and
+// task-graph re-execution for *recovery*. OMPC's natural consistency points
+// are the implicit barriers between waves: no task is in flight, so the set
+// of registered buffers — resolved to their freshest copies through the
+// Data Manager's ownership map — IS the global state of the computation.
+//
+// capture() walks that map: buffers whose freshest copy lives on a worker
+// are first retrieved to the head (the checkpoint cost the
+// bench/ablation_recovery knob trades against re-execution work), then all
+// host copies are snapshotted into head memory. restore() plays the
+// snapshot back through the Data Manager after a failure: every buffer
+// becomes "valid on head only" with its checkpointed contents, from which
+// the lost waves are re-executed on the surviving workers.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/serialize.hpp"
+#include "core/data_manager.hpp"
+
+namespace ompc::core {
+
+struct CheckpointStats {
+  std::int64_t captures = 0;
+  std::int64_t restores = 0;
+  std::int64_t bytes_captured = 0;  ///< cumulative snapshot volume
+  std::int64_t capture_ns = 0;      ///< cumulative capture wall time
+};
+
+class CheckpointStore {
+ public:
+  /// Whether a snapshot exists to roll back to.
+  bool has_checkpoint() const noexcept { return have_; }
+
+  /// Wave index the snapshot was taken before (-1 when none).
+  std::int64_t wave() const noexcept { return wave_; }
+
+  std::size_t num_buffers() const noexcept { return entries_.size(); }
+
+  /// Snapshots every registered buffer at a wave boundary. Retrieves
+  /// worker-resident copies to the head first; must therefore run at a
+  /// quiescent point (between waves). Replaces any previous snapshot —
+  /// recovery is always to the most recent wave boundary checkpoint.
+  void capture(DataManager& dm, std::int64_t wave);
+
+  /// Rolls every checkpointed buffer back: re-registers buffers a DataExit
+  /// erased meanwhile, drops surviving worker replicas and rewrites the
+  /// host copies with the snapshot. The cluster must be quiescent and dead
+  /// ranks already purged from the Data Manager.
+  void restore(DataManager& dm);
+
+  const CheckpointStats& stats() const noexcept { return stats_; }
+
+ private:
+  struct Entry {
+    void* host = nullptr;
+    std::size_t size = 0;
+    Bytes data;
+  };
+
+  std::vector<Entry> entries_;
+  std::int64_t wave_ = -1;
+  bool have_ = false;
+  CheckpointStats stats_;
+};
+
+}  // namespace ompc::core

@@ -102,7 +102,11 @@ offload::TargetPtr DataManager::ensure_on(mpi::Rank worker, BufferState& b) {
   }
 
   // Transfer outside the lock: replicas to other workers proceed in
-  // parallel on their own links.
+  // parallel on their own links. If the transfer dies (worker failure),
+  // the Transferring marker MUST be rolled back to Absent and waiters
+  // woken, or a concurrent ensure_on for the same (buffer, worker) pair
+  // would sleep on the cv forever and deadlock dispatch.
+  try {
   const offload::TargetPtr dst = alloc_on(worker, b);
   if (src >= 0 && opts_.forwarding == Forwarding::Direct) {
     // §4.3: direct worker->worker forwarding commanded by the head. Both
@@ -114,10 +118,12 @@ offload::TargetPtr DataManager::ensure_on(mpi::Rank worker, BufferState& b) {
     const mpi::Tag data_tag = events_.allocate_tag();
     ArchiveWriter rw;
     rw.put(ExchangeRecvHeader{dst, b.size, src, data_tag});
-    auto recv_ev = events_.start(worker, EventKind::ExchangeRecv, rw.take());
+    auto recv_ev =
+        events_.start(worker, EventKind::ExchangeRecv, rw.take(), {}, src);
     ArchiveWriter sw;
     sw.put(ExchangeSendHeader{src_ptr, b.size, worker, data_tag});
-    auto send_ev = events_.start(src, EventKind::ExchangeSend, sw.take());
+    auto send_ev =
+        events_.start(src, EventKind::ExchangeSend, sw.take(), {}, worker);
     send_ev->wait();
     recv_ev->wait();
     stats_.exchanges.fetch_add(1, std::memory_order_relaxed);
@@ -158,6 +164,12 @@ offload::TargetPtr DataManager::ensure_on(mpi::Rank worker, BufferState& b) {
   b.state[worker] = CopyState::Valid;
   b.cv.notify_all();
   return dst;
+  } catch (...) {
+    std::lock_guard<std::mutex> lock(b.lock);
+    b.state.erase(worker);  // back to Absent; the replica never materialized
+    b.cv.notify_all();
+    throw;
+  }
 }
 
 void DataManager::enter_to_worker(mpi::Rank worker, const void* host,
@@ -173,7 +185,14 @@ void DataManager::enter_to_worker(mpi::Rank worker, const void* host,
     if (b->state.find(worker) == b->state.end()) {
       b->state[worker] = CopyState::Transferring;
       lk.unlock();
-      alloc_on(worker, *b);
+      try {
+        alloc_on(worker, *b);
+      } catch (...) {
+        lk.lock();
+        b->state.erase(worker);  // see ensure_on: never leave Transferring
+        b->cv.notify_all();
+        throw;
+      }
       lk.lock();
       b->state[worker] = CopyState::Absent;
       b->cv.notify_all();
@@ -230,13 +249,29 @@ std::vector<offload::TargetPtr> DataManager::prepare_args(
   // A target region's inputs arrive from independent locations; fetch them
   // concurrently so one task pays max(transfer) instead of sum(transfer).
   // (ensure_on already coalesces duplicate buffers in the argument list.)
+  // Fetcher failures (a worker dying mid-transfer) are re-raised here so
+  // the helper thread running the task sees them.
+  std::vector<std::exception_ptr> errors(states.size());
   std::vector<std::thread> fetchers;
   fetchers.reserve(states.size() - 1);
   for (std::size_t i = 1; i < states.size(); ++i) {
-    fetchers.emplace_back([&, i] { out[i] = ensure_on(worker, *states[i]); });
+    fetchers.emplace_back([&, i] {
+      try {
+        out[i] = ensure_on(worker, *states[i]);
+      } catch (...) {
+        errors[i] = std::current_exception();
+      }
+    });
   }
-  out[0] = ensure_on(worker, *states[0]);
+  try {
+    out[0] = ensure_on(worker, *states[0]);
+  } catch (...) {
+    errors[0] = std::current_exception();
+  }
   for (auto& f : fetchers) f.join();
+  for (auto& e : errors) {
+    if (e) std::rethrow_exception(e);
+  }
   return out;
 }
 
@@ -283,6 +318,108 @@ void DataManager::cleanup_all() {
   }
   std::lock_guard<std::mutex> lock(mutex_);
   buffers_.clear();
+}
+
+void DataManager::refresh_head(const void* host) {
+  BufferState* b = find(host);
+  OMPC_CHECK_MSG(b != nullptr, "refresh_head for unregistered buffer " << host);
+  std::unique_lock<std::mutex> lk(b->lock);
+  if (b->on_head) return;
+  mpi::Rank src = -1;
+  for (const auto& [r, st] : b->state) {
+    if (st == CopyState::Valid) {
+      src = r;
+      break;
+    }
+  }
+  OMPC_CHECK_MSG(src >= 0, "no valid copy of buffer to checkpoint");
+  const offload::TargetPtr src_ptr = b->addr.at(src);
+  lk.unlock();
+  events_.start_retrieve(src, src_ptr, b->host, b->size)->wait();
+  stats_.retrieves.fetch_add(1, std::memory_order_relaxed);
+  stats_.bytes_moved.fetch_add(static_cast<std::int64_t>(b->size),
+                               std::memory_order_relaxed);
+  lk.lock();
+  b->on_head = true;
+}
+
+void DataManager::for_each_buffer(
+    const std::function<void(void*, std::size_t)>& fn) const {
+  std::vector<std::pair<void*, std::size_t>> all;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    all.reserve(buffers_.size());
+    for (const auto& [host, b] : buffers_) {
+      (void)host;
+      all.emplace_back(b->host, b->size);
+    }
+  }
+  for (const auto& [host, size] : all) fn(host, size);
+}
+
+void DataManager::purge_rank(mpi::Rank dead) {
+  std::vector<BufferState*> all;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    for (auto& [host, b] : buffers_) {
+      (void)host;
+      all.push_back(b.get());
+    }
+  }
+  for (BufferState* b : all) {
+    std::lock_guard<std::mutex> lock(b->lock);
+    const auto st = b->state.find(dead);
+    const bool was_valid = st != b->state.end() && st->second == CopyState::Valid;
+    b->addr.erase(dead);
+    b->state.erase(dead);
+    if (was_valid && !b->on_head) {
+      bool elsewhere = false;
+      for (const auto& [r, s] : b->state) {
+        (void)r;
+        if (s == CopyState::Valid) {
+          elsewhere = true;
+          break;
+        }
+      }
+      if (!elsewhere)
+        stats_.buffers_lost.fetch_add(1, std::memory_order_relaxed);
+    }
+    // Wake anyone parked on a Transferring state that involved the corpse.
+    b->cv.notify_all();
+  }
+}
+
+void DataManager::reset_all_to_host() {
+  std::vector<BufferState*> all;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    for (auto& [host, b] : buffers_) {
+      (void)host;
+      all.push_back(b.get());
+    }
+  }
+  for (BufferState* b : all) {
+    std::unique_lock<std::mutex> lk(b->lock);
+    while (!b->addr.empty())
+      delete_on_locked(b->addr.begin()->first, *b, lk);
+    b->state.clear();
+    b->on_head = true;
+  }
+}
+
+void DataManager::restore_buffer(void* host, std::size_t size,
+                                 std::span<const std::byte> content) {
+  if (!is_registered(host)) register_buffer(host, size);
+  BufferState* b = find(host);
+  std::unique_lock<std::mutex> lk(b->lock);
+  OMPC_CHECK_MSG(b->size == size, "checkpoint size mismatch for buffer "
+                                      << host << ": " << b->size << " vs "
+                                      << size);
+  while (!b->addr.empty())
+    delete_on_locked(b->addr.begin()->first, *b, lk);
+  b->state.clear();
+  std::memcpy(host, content.data(), size);
+  b->on_head = true;
 }
 
 DataManager::Snapshot DataManager::snapshot(const void* host) const {

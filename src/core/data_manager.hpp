@@ -23,6 +23,7 @@
 // parallel.
 #pragma once
 
+#include <functional>
 #include <map>
 #include <memory>
 #include <mutex>
@@ -44,6 +45,7 @@ struct DataManagerStats {
   std::atomic<std::int64_t> allocs{0};
   std::atomic<std::int64_t> deletes{0};
   std::atomic<std::int64_t> bytes_moved{0};
+  std::atomic<std::int64_t> buffers_lost{0};  ///< sole copy was on a corpse
 };
 
 class DataManager {
@@ -82,6 +84,38 @@ class DataManager {
   /// Deletes every remaining device allocation (pre-shutdown sweep for
   /// buffers the program never exited).
   void cleanup_all();
+
+  // --- fault tolerance (paper §5; driven by the Runtime) ---------------
+  //
+  // The ownership map this module maintains is exactly what checkpointing
+  // and rollback need: capture walks it to find the freshest copy of every
+  // buffer, rollback rewrites it to "host only" before re-execution.
+
+  /// Refreshes the head's host copy of `host` from the freshest worker
+  /// replica (no-op when the head already holds a valid copy). Read-only:
+  /// worker replicas stay valid. Checkpoint capture uses this.
+  void refresh_head(const void* host);
+
+  /// Calls `fn(host, size)` for every registered buffer. Must not be
+  /// called concurrently with registration (head control thread only).
+  void for_each_buffer(
+      const std::function<void(void*, std::size_t)>& fn) const;
+
+  /// Forgets every replica on `dead` WITHOUT issuing Delete events (a dead
+  /// rank frees its own memory when its thread unwinds). Buffers whose only
+  /// valid copy lived there are counted in stats().buffers_lost.
+  void purge_rank(mpi::Rank dead);
+
+  /// Rollback step 1: drops every worker replica (Delete events on live
+  /// workers) and declares the host copy the only valid location, for every
+  /// registered buffer. Requires a quiesced cluster (no tasks in flight).
+  void reset_all_to_host();
+
+  /// Rollback step 2: (re-)registers `host` if a DataExit erased it during
+  /// the failed execution attempt and overwrites the host bytes with the
+  /// checkpointed `content`. Requires reset_all_to_host() to have run.
+  void restore_buffer(void* host, std::size_t size,
+                      std::span<const std::byte> content);
 
   // --- introspection (tests) ------------------------------------------
 

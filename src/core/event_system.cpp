@@ -1,9 +1,12 @@
 #include "core/event_system.hpp"
 
+#include <chrono>
 #include <cstdlib>
 #include <cstring>
 
 #include "common/check.hpp"
+#include "core/fault.hpp"
+#include "minimpi/universe.hpp"
 #include "common/log.hpp"
 #include "common/time.hpp"
 
@@ -19,6 +22,7 @@ const char* to_string(EventKind k) {
     case EventKind::ExchangeRecv: return "ExchangeRecv";
     case EventKind::Execute: return "Execute";
     case EventKind::Shutdown: return "Shutdown";
+    case EventKind::RankDead: return "RankDead";
   }
   return "?";
 }
@@ -57,10 +61,18 @@ std::size_t WorkerMemory::live() const {
 
 const Bytes& OriginEvent::wait() {
   // Inbound payload (Retrieve) completes before the completion notification
-  // is meaningful; wait for it first.
-  if (data_request_.valid()) data_request_.wait();
+  // is meaningful; wait for it first. fail() force-completes it, so this
+  // cannot block past a failure.
+  if (data_request_.valid()) {
+    try {
+      data_request_.wait();
+    } catch (const mpi::RankKilledError& e) {
+      throw WorkerDiedError(e.rank());
+    }
+  }
   std::unique_lock<std::mutex> lock(mutex_);
   cv_.wait(lock, [this] { return done_; });
+  if (failed_rank_ >= 0) throw WorkerDiedError(failed_rank_);
   return result_;
 }
 
@@ -72,9 +84,23 @@ bool OriginEvent::done() const {
 void OriginEvent::complete(Bytes result) {
   {
     std::lock_guard<std::mutex> lock(mutex_);
+    if (done_) return;  // completion raced a failure; failure already won
     result_ = std::move(result);
     done_ = true;
   }
+  cv_.notify_all();
+}
+
+void OriginEvent::fail(mpi::Rank dead) {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (done_) return;  // the completion beat the failure: data is valid
+    failed_rank_ = dead;
+    done_ = true;
+  }
+  // Unblock a waiter parked on the inbound payload (Retrieve): the payload
+  // will never arrive from a dead worker.
+  if (data_request_.valid()) data_request_.state()->kill(dead);
   cv_.notify_all();
 }
 
@@ -134,11 +160,20 @@ mpi::Tag EventSystem::allocate_tag() {
 }
 
 OriginEventPtr EventSystem::start(mpi::Rank dest, EventKind kind, Bytes header,
-                                  Bytes payload) {
+                                  Bytes payload, mpi::Rank peer) {
   const mpi::Tag tag = allocate_tag();
-  auto ev = std::make_shared<OriginEvent>(tag, kind, dest);
+  auto ev = std::make_shared<OriginEvent>(tag, kind, dest, peer);
   {
     std::lock_guard<std::mutex> lock(origin_mutex_);
+    if (dead_ranks_.count(dest) != 0) throw WorkerDiedError(dest);
+    if (peer >= 0 && dead_ranks_.count(peer) != 0) throw WorkerDiedError(peer);
+    // Fail fast on a corpse the heartbeat has not flagged yet — the
+    // simulated analogue of MPI erroring on a send to a crashed peer.
+    // Without this, an event started in the window between death and ring
+    // detection (or after detection was shut down) would block forever.
+    if (control_.universe().is_dead(dest)) throw WorkerDiedError(dest);
+    if (peer >= 0 && control_.universe().is_dead(peer))
+      throw WorkerDiedError(peer);
     origin_events_.emplace(tag, ev);
   }
   stats_.originated.fetch_add(1, std::memory_order_relaxed);
@@ -167,6 +202,12 @@ OriginEventPtr EventSystem::start_retrieve(mpi::Rank dest,
   ev->data_request_ = data_comm_for(tag).irecv(dst_host, size, dest, tag);
   {
     std::lock_guard<std::mutex> lock(origin_mutex_);
+    if (dead_ranks_.count(dest) != 0 || control_.universe().is_dead(dest)) {
+      // Unpost the landing buffer before unwinding, or a stale payload
+      // could later land in memory the caller has moved on from.
+      control_.cancel(ev->data_request_);
+      throw WorkerDiedError(dest);
+    }
     origin_events_.emplace(tag, ev);
   }
   stats_.originated.fetch_add(1, std::memory_order_relaxed);
@@ -188,16 +229,82 @@ Bytes EventSystem::run(mpi::Rank dest, EventKind kind, Bytes header,
   return start(dest, kind, std::move(header), std::move(payload))->wait();
 }
 
+void EventSystem::fail_rank(mpi::Rank dead) {
+  std::vector<OriginEventPtr> victims;
+  {
+    std::lock_guard<std::mutex> lock(origin_mutex_);
+    if (!dead_ranks_.insert(dead).second) return;  // already declared
+    for (auto it = origin_events_.begin(); it != origin_events_.end();) {
+      if (it->second->dest() == dead || it->second->peer() == dead) {
+        victims.push_back(std::move(it->second));
+        it = origin_events_.erase(it);
+      } else {
+        ++it;
+      }
+    }
+  }
+  origin_cv_.notify_all();
+  for (auto& ev : victims) {
+    // Unpost a pending Retrieve landing buffer first: an in-flight payload
+    // (sent before the death) arriving after recovery restored that host
+    // buffer must not overwrite the rolled-back contents.
+    control_.cancel(ev->data_request_);
+    ev->fail(dead);
+  }
+}
+
+void EventSystem::announce_rank_dead(mpi::Rank dead) {
+  // Raw control sends, like the shutdown self-poke: RankDead carries no
+  // completion (tag 0), so no origin event is registered.
+  ArchiveWriter w;
+  w.put(RankDeadHeader{dead});
+  EventAnnounce a;
+  a.kind = EventKind::RankDead;
+  a.tag = 0;
+  a.origin = rank_;
+  a.header = w.take();
+  const Bytes msg = a.serialize();
+  const int n = control_.size();
+  for (mpi::Rank r = 0; r < n; ++r) {
+    if (r == rank_ || is_rank_dead(r)) continue;
+    control_.send(msg.data(), msg.size(), r, kTagNewEvent);
+  }
+}
+
+bool EventSystem::is_rank_dead(mpi::Rank r) const {
+  std::lock_guard<std::mutex> lock(origin_mutex_);
+  return dead_ranks_.count(r) != 0;
+}
+
+void EventSystem::quiesce() {
+  std::unique_lock<std::mutex> lock(origin_mutex_);
+  const bool drained = origin_cv_.wait_for(
+      lock, std::chrono::seconds(30), [this] { return origin_events_.empty(); });
+  OMPC_CHECK_MSG(drained, "quiesce timed out with "
+                              << origin_events_.size()
+                              << " origin events outstanding");
+}
+
 void EventSystem::shutdown_cluster() {
-  // Stop each worker (acknowledged via the normal completion path), then
-  // unblock the local gate with a self-shutdown.
+  // Stop each live worker (acknowledged via the normal completion path),
+  // then unblock the local gate with a self-shutdown.
   std::vector<OriginEventPtr> acks;
   const int n = control_.size();
   for (mpi::Rank w = 0; w < n; ++w) {
-    if (w == rank_) continue;
+    if (w == rank_ || is_rank_dead(w) || control_.universe().is_dead(w))
+      continue;
     acks.push_back(start(w, EventKind::Shutdown, {}));
   }
-  for (auto& ev : acks) ev->wait();
+  // Poll rather than block: a rank can die mid-handshake, after every
+  // failure detector has already been stopped — its ack will never come,
+  // and nobody is left to fail the event. Liveness comes straight from the
+  // universe here (an abandoned shutdown ack needs no recovery).
+  for (auto& ev : acks) {
+    while (!ev->done()) {
+      if (control_.universe().is_dead(ev->dest())) break;
+      std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    }
+  }
 
   EventAnnounce bye;
   bye.kind = EventKind::Shutdown;
@@ -231,38 +338,62 @@ void EventSystem::enqueue_remote(RemoteEvent&& ev) {
 }
 
 void EventSystem::gate_main() {
-  for (;;) {
-    const mpi::Status st = control_.probe(mpi::kAnySource, mpi::kAnyTag);
-    const Bytes msg = control_.recv_bytes(st.source, st.tag);
-    if (st.tag == kTagNewEvent) {
-      EventAnnounce a = EventAnnounce::deserialize(msg);
-      if (a.kind == EventKind::Shutdown) {
-        // Ack remote shutdowns so the head's wait completes; a tag of 0
-        // marks the local self-poke, which needs no ack.
-        if (a.origin != rank_ || a.tag != 0) {
-          send_completion(a.origin, a.tag, {});
+  try {
+    for (;;) {
+      const mpi::Status st = control_.probe(mpi::kAnySource, mpi::kAnyTag);
+      const Bytes msg = control_.recv_bytes(st.source, st.tag);
+      if (st.tag == kTagNewEvent) {
+        EventAnnounce a = EventAnnounce::deserialize(msg);
+        if (a.kind == EventKind::Shutdown) {
+          // Ack remote shutdowns so the head's wait completes; a tag of 0
+          // marks the local self-poke, which needs no ack.
+          if (a.origin != rank_ || a.tag != 0) {
+            send_completion(a.origin, a.tag, {});
+          }
+          stop_local();
+          return;
         }
-        stop_local();
-        return;
+        if (a.kind == EventKind::RankDead) {
+          ArchiveReader r(a.header);
+          const auto h = r.get<RankDeadHeader>();
+          {
+            std::lock_guard<std::mutex> lock(origin_mutex_);
+            dead_ranks_.insert(h.rank);
+          }
+          // Re-queue events already parked on pending I/O so handlers
+          // re-evaluate them against the updated dead set promptly.
+          queue_cv_.notify_all();
+          continue;
+        }
+        RemoteEvent ev;
+        ev.announce = std::move(a);
+        enqueue_remote(std::move(ev));
+      } else if (st.tag == kTagComplete) {
+        EventCompletion c = EventCompletion::deserialize(msg);
+        OriginEventPtr ev;
+        {
+          std::lock_guard<std::mutex> lock(origin_mutex_);
+          auto it = origin_events_.find(c.tag);
+          if (it == origin_events_.end()) {
+            // A completion can outlive its event: fail_rank() already
+            // failed it, or a worker aborted an exchange half whose origin
+            // gave up. Late completions are dropped, not protocol errors.
+            OMPC_LOG_WARN("dropping late completion for event tag " << c.tag);
+            continue;
+          }
+          ev = std::move(it->second);
+          origin_events_.erase(it);
+        }
+        origin_cv_.notify_all();
+        ev->complete(std::move(c.result));
+      } else {
+        OMPC_CHECK_MSG(false, "unexpected control tag " << st.tag);
       }
-      RemoteEvent ev;
-      ev.announce = std::move(a);
-      enqueue_remote(std::move(ev));
-    } else if (st.tag == kTagComplete) {
-      EventCompletion c = EventCompletion::deserialize(msg);
-      OriginEventPtr ev;
-      {
-        std::lock_guard<std::mutex> lock(origin_mutex_);
-        auto it = origin_events_.find(c.tag);
-        OMPC_CHECK_MSG(it != origin_events_.end(),
-                       "completion for unknown event tag " << c.tag);
-        ev = std::move(it->second);
-        origin_events_.erase(it);
-      }
-      ev->complete(std::move(c.result));
-    } else {
-      OMPC_CHECK_MSG(false, "unexpected control tag " << st.tag);
     }
+  } catch (const mpi::RankKilledError&) {
+    // This rank was killed by fault injection: unwind the gate and release
+    // the rank's main thread so the universe can join it.
+    stop_local();
   }
 }
 
@@ -276,16 +407,21 @@ void EventSystem::handler_main(int /*index*/) {
       ev = std::move(queue_.front());
       queue_.pop_front();
     }
-    if (progress(ev)) {
-      stats_.handled.fetch_add(1, std::memory_order_relaxed);
-    } else {
-      // Pending I/O: back off with a real OS sleep so a lone pending event
-      // doesn't turn the handler pool into a spin storm (precise_sleep
-      // would spin for a wait this short), then requeue (step 5b, Fig 3).
-      // 200 us of poll granularity is noise against millisecond transfers.
-      stats_.reenqueued.fetch_add(1, std::memory_order_relaxed);
-      std::this_thread::sleep_for(std::chrono::microseconds(200));
-      enqueue_remote(std::move(ev));
+    try {
+      if (progress(ev)) {
+        stats_.handled.fetch_add(1, std::memory_order_relaxed);
+      } else {
+        // Pending I/O: back off with a real OS sleep so a lone pending event
+        // doesn't turn the handler pool into a spin storm (precise_sleep
+        // would spin for a wait this short), then requeue (step 5b, Fig 3).
+        // 200 us of poll granularity is noise against millisecond transfers.
+        stats_.reenqueued.fetch_add(1, std::memory_order_relaxed);
+        std::this_thread::sleep_for(std::chrono::microseconds(200));
+        enqueue_remote(std::move(ev));
+      }
+    } catch (const mpi::RankKilledError&) {
+      // This rank died while executing the event; abandon it and keep
+      // draining so the queue empties and the handler can exit at stop.
     }
   }
 }
@@ -353,7 +489,19 @@ bool EventSystem::progress(RemoteEvent& ev) {
             reinterpret_cast<void*>(h.dst), h.size, h.peer, h.data_tag);
         ev.phase = 1;
       }
-      if (!ev.io.test()) return false;
+      if (!ev.io.test()) {
+        // A payload from a dead peer will never arrive; abort the event
+        // instead of re-enqueueing it forever. The head has already failed
+        // the origin half, so this completion is dropped there as late.
+        // Unpost the irecv: recovery may free h.dst, and a stale in-flight
+        // payload landing there afterwards would be a use-after-free.
+        if (is_rank_dead(h.peer)) {
+          control_.cancel(ev.io);
+          send_completion(a.origin, a.tag, {});
+          return true;
+        }
+        return false;
+      }
       send_completion(a.origin, a.tag, {});
       return true;
     }
@@ -370,7 +518,8 @@ bool EventSystem::progress(RemoteEvent& ev) {
       return true;
     }
     case EventKind::Shutdown:
-      OMPC_CHECK_MSG(false, "Shutdown must be handled by the gate");
+    case EventKind::RankDead:
+      OMPC_CHECK_MSG(false, to_string(a.kind) << " must be handled by the gate");
   }
   return true;
 }

@@ -50,14 +50,21 @@ class WorkerMemory {
 /// thread until the destination's completion notification arrives.
 class OriginEvent {
  public:
-  OriginEvent(mpi::Tag tag, EventKind kind, mpi::Rank dest)
-      : tag_(tag), kind_(kind), dest_(dest) {}
+  /// `peer` is the third rank involved, if any (the opposite half of a
+  /// worker->worker exchange); a failure of either dest or peer fails the
+  /// event.
+  OriginEvent(mpi::Tag tag, EventKind kind, mpi::Rank dest,
+              mpi::Rank peer = mpi::kAnySource)
+      : tag_(tag), kind_(kind), dest_(dest), peer_(peer) {}
 
   mpi::Tag tag() const noexcept { return tag_; }
   EventKind kind() const noexcept { return kind_; }
   mpi::Rank dest() const noexcept { return dest_; }
+  mpi::Rank peer() const noexcept { return peer_; }
 
   /// Blocks until completion; returns the destination's result blob.
+  /// Throws WorkerDiedError if the destination (or exchange peer) died
+  /// before completing the event.
   const Bytes& wait();
 
   bool done() const;
@@ -67,9 +74,13 @@ class OriginEvent {
 
   void complete(Bytes result);
 
+  /// Completes exceptionally: `dead` (dest or peer) died. wait() throws.
+  void fail(mpi::Rank dead);
+
   const mpi::Tag tag_;
   const EventKind kind_;
   const mpi::Rank dest_;
+  const mpi::Rank peer_;
 
   // Inbound payload request (Retrieve posts its irecv before notifying).
   mpi::Request data_request_;
@@ -77,6 +88,7 @@ class OriginEvent {
   mutable std::mutex mutex_;
   std::condition_variable cv_;
   bool done_ = false;
+  mpi::Rank failed_rank_ = mpi::kAnySource;  ///< >= 0: completed by failure
   Bytes result_;
 };
 
@@ -102,9 +114,11 @@ class EventSystem {
   // --- origin API (head helper threads) --------------------------------
 
   /// Creates an event, ships its notification (and eager payload, for
-  /// Submit) and returns the waitable origin half.
+  /// Submit) and returns the waitable origin half. `peer` marks the other
+  /// half of a worker->worker exchange (failure of either rank fails the
+  /// event). Throws WorkerDiedError when dest/peer is already known dead.
   OriginEventPtr start(mpi::Rank dest, EventKind kind, Bytes header,
-                       Bytes payload = {});
+                       Bytes payload = {}, mpi::Rank peer = mpi::kAnySource);
 
   /// Retrieve: posts the inbound irecv into `dst_host` *before* notifying
   /// the worker, so the payload can never race the receive.
@@ -117,10 +131,29 @@ class EventSystem {
   /// Fresh event tag (unique per origin rank).
   mpi::Tag allocate_tag();
 
+  // --- fault handling (paper §5) ---------------------------------------
+
+  /// Declares `dead` failed: every origin event whose destination or
+  /// exchange peer is `dead` completes exceptionally (wait() throws
+  /// WorkerDiedError) and future start()s to it throw immediately.
+  /// Thread-safe; called by the failure detector on the head.
+  void fail_rank(mpi::Rank dead);
+
+  /// Head only: tells every live worker that `dead` died, so they abort
+  /// pending events (exchange halves) that involve it.
+  void announce_rank_dead(mpi::Rank dead);
+
+  /// Whether `r` has been declared dead (local knowledge).
+  bool is_rank_dead(mpi::Rank r) const;
+
+  /// Blocks until no origin event is outstanding — the quiescent point the
+  /// recovery path needs before it mutates cluster-wide data state.
+  void quiesce();
+
   // --- lifecycle --------------------------------------------------------
 
-  /// Head only: shuts down every worker's event system (acknowledged),
-  /// then stops the local one.
+  /// Head only: shuts down every live worker's event system (acknowledged),
+  /// then stops the local one. Dead ranks are skipped.
   void shutdown_cluster();
 
   /// Blocks the worker main thread until a Shutdown event arrives.
@@ -159,9 +192,12 @@ class EventSystem {
   WorkerMemory* memory_;
   omp::TaskRuntime* exec_pool_;
 
-  // Origin registry: events awaiting completion, keyed by tag.
-  std::mutex origin_mutex_;
+  // Origin registry: events awaiting completion, keyed by tag. Also guards
+  // the dead-rank set; origin_cv_ signals the registry shrinking (quiesce).
+  mutable std::mutex origin_mutex_;
+  std::condition_variable origin_cv_;
   std::unordered_map<mpi::Tag, OriginEventPtr> origin_events_;
+  std::unordered_set<mpi::Rank> dead_ranks_;
   std::atomic<mpi::Tag> next_tag_{kFirstEventTag};
 
   // Local destination-event queue.

@@ -1,0 +1,42 @@
+// Fault-tolerance error taxonomy (paper §5).
+//
+// The paper pairs heartbeat *detection* with checkpoint/re-execution
+// *recovery*. Inside the runtime a detected failure surfaces as
+// WorkerDiedError on every operation touching the dead rank; wait_all()
+// catches it and either recovers (rolls buffers back to the last wave
+// checkpoint and re-executes the lost sub-graph on the survivors) or — when
+// recovery is impossible — rethrows the condition as RecoveryError so the
+// program fails cleanly instead of hanging.
+#pragma once
+
+#include <stdexcept>
+#include <string>
+
+#include "minimpi/types.hpp"
+
+namespace ompc::core {
+
+/// A cluster operation targeted a worker that the failure detector has
+/// declared dead. Recoverable: wait_all() catches this and re-executes.
+class WorkerDiedError : public std::runtime_error {
+ public:
+  explicit WorkerDiedError(mpi::Rank rank)
+      : std::runtime_error("worker rank " + std::to_string(rank) +
+                           " died mid-operation"),
+        rank_(rank) {}
+
+  mpi::Rank rank() const noexcept { return rank_; }
+
+ private:
+  mpi::Rank rank_;
+};
+
+/// A worker failure could not be recovered from: checkpointing is disabled
+/// (ClusterOptions::checkpoint_period == 0), no checkpoint exists yet, or
+/// every worker is gone. Terminal for the launch.
+class RecoveryError : public std::runtime_error {
+ public:
+  explicit RecoveryError(const std::string& what) : std::runtime_error(what) {}
+};
+
+}  // namespace ompc::core

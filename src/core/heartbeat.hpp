@@ -18,6 +18,11 @@
 
 namespace ompc::core {
 
+/// Tag (on the heartbeat communicator) a worker uses to report a detected
+/// neighbour failure to the head node, which owns recovery (§5): the ring
+/// detects, the head's failure monitor collects and acts.
+inline constexpr mpi::Tag kFailureReportTag = 8;
+
 class HeartbeatRing {
  public:
   struct Options {

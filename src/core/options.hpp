@@ -2,8 +2,10 @@
 #pragma once
 
 #include <cstdint>
+#include <vector>
 
 #include "minimpi/network.hpp"
+#include "minimpi/types.hpp"
 
 namespace ompc::core {
 
@@ -69,8 +71,24 @@ struct ClusterOptions {
   /// for target tasks that carry no explicit hint.
   double default_task_cost_s = 1.0e-3;
 
-  /// Heartbeat period for the fault-detection ring (0 = disabled).
+  /// Heartbeat period for the fault-detection ring (0 = disabled). With the
+  /// ring enabled a dead worker is detected within ~heartbeat_timeout_ms
+  /// and reported to the head, which triggers recovery in wait_all().
   std::int64_t heartbeat_period_ms = 0;
+
+  /// Silence threshold before a ring neighbour is declared dead.
+  std::int64_t heartbeat_timeout_ms = 100;
+
+  /// Waves between buffer checkpoints (paper §5): 1 = snapshot at every
+  /// wait_all() boundary, k = every k-th, 0 = fault tolerance disabled (a
+  /// detected failure raises RecoveryError instead of recovering). Larger
+  /// periods cost less in steady state but re-execute more waves on
+  /// failure — bench/ablation_recovery measures the trade.
+  int checkpoint_period = 0;
+
+  /// Fault injection forwarded to the simulated universe: each entry kills
+  /// one rank at a fixed time offset (deterministic, testable failures).
+  std::vector<mpi::KillSpec> kills;
 
   /// Seed for SchedulerKind::Random.
   std::uint64_t seed = 0x5eed;

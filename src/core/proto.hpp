@@ -30,6 +30,7 @@ enum class EventKind : std::uint8_t {
   ExchangeRecv,  ///< receive a buffer directly from another worker
   Execute,       ///< run a registered kernel on local device memory
   Shutdown,      ///< stop the event system (sent once by the head)
+  RankDead,      ///< head -> workers: a rank died; abort events touching it
 };
 
 const char* to_string(EventKind k);
@@ -59,6 +60,12 @@ struct SubmitHeader {
 struct RetrieveHeader {
   offload::TargetPtr src = 0;
   std::uint64_t size = 0;
+};
+
+/// Broadcast by the head after the failure detector declares a rank dead so
+/// workers abort events (pending exchanges) that involve the corpse.
+struct RankDeadHeader {
+  mpi::Rank rank = -1;
 };
 
 /// The two halves of a worker->worker forward share one wire tag

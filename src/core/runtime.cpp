@@ -8,16 +8,17 @@
 #include "common/check.hpp"
 #include "common/log.hpp"
 #include "common/time.hpp"
+#include "core/heartbeat.hpp"
 
 namespace ompc::core {
 
-namespace {
-/// Worker index (0-based scheduler processor) -> minimpi rank.
-mpi::Rank rank_of_proc(int proc) { return proc + 1; }
-}  // namespace
-
 Runtime::Runtime(const ClusterOptions& opts, EventSystem& events)
-    : opts_(opts), events_(events), dm_(events, opts), graph_(fresh_graph()) {}
+    : opts_(opts), events_(events), dm_(events, opts), graph_(fresh_graph()) {
+  // Scheduler processors map onto this live-worker table; recovery shrinks
+  // it, which is how survivors are re-ranked after a failure.
+  live_workers_.reserve(static_cast<std::size_t>(opts.num_workers));
+  for (int w = 0; w < opts.num_workers; ++w) live_workers_.push_back(w + 1);
+}
 
 Runtime::~Runtime() = default;
 
@@ -89,6 +90,9 @@ int Runtime::host_task(std::function<void()> fn, omp::DepList deps) {
 }
 
 void Runtime::execute_task(const ClusterTask& t, int proc) {
+  const auto rank_of_proc = [this](int p) {
+    return live_workers_[static_cast<std::size_t>(p)];
+  };
   switch (t.type) {
     case TaskType::DataEnter:
       dm_.enter_to_worker(rank_of_proc(proc), t.buffer, t.copy);
@@ -117,8 +121,8 @@ void Runtime::execute_task(const ClusterTask& t, int proc) {
   }
 }
 
-void Runtime::dispatch(const ScheduleResult& sched) {
-  const std::size_t n = graph_.size();
+void Runtime::dispatch(const ClusterGraph& graph, const ScheduleResult& sched) {
+  const std::size_t n = graph.size();
   if (n == 0) return;
 
   // Dependence-driven execution with a bounded helper pool. Each helper
@@ -126,7 +130,7 @@ void Runtime::dispatch(const ScheduleResult& sched) {
   // execute_task() for the whole life of an in-flight target region, so
   // `helpers` bounds in-flight regions exactly as §7 describes.
   std::vector<int> indegree(n, 0);
-  for (const ClusterTask& t : graph_.tasks())
+  for (const ClusterTask& t : graph.tasks())
     indegree[static_cast<std::size_t>(t.id)] =
         static_cast<int>(t.preds.size());
 
@@ -136,7 +140,7 @@ void Runtime::dispatch(const ScheduleResult& sched) {
   std::size_t done = 0;
   std::exception_ptr first_error;
 
-  for (const ClusterTask& t : graph_.tasks()) {
+  for (const ClusterTask& t : graph.tasks()) {
     if (t.preds.empty()) ready.push_back(t.id);
   }
 
@@ -161,7 +165,7 @@ void Runtime::dispatch(const ScheduleResult& sched) {
       ready.pop_front();
       lock.unlock();
 
-      const ClusterTask& t = graph_.task(id);
+      const ClusterTask& t = graph.task(id);
       try {
         execute_task(t, sched.processor[static_cast<std::size_t>(id)]);
       } catch (...) {
@@ -193,21 +197,207 @@ void Runtime::dispatch(const ScheduleResult& sched) {
   OMPC_CHECK_MSG(done == n, "dispatch finished with unexecuted tasks");
 }
 
-void Runtime::wait_all() {
-  if (graph_.empty()) return;
-  graph_.build_edges();
+void Runtime::run_wave(const ClusterGraph& graph) {
   const ScheduleResult sched =
-      schedule(opts_.scheduler, graph_, opts_.num_workers,
+      schedule(opts_.scheduler, graph, num_live_workers(),
                CostModel::from_network(opts_.network),
                opts_.default_task_cost_s, opts_.seed);
   stats_.schedule_ns += sched.schedule_ns;
   stats_.makespan_estimate_s = sched.makespan_estimate_s;
   last_ = sched;
+  dispatch(graph, sched);
+}
 
-  dispatch(sched);
+void Runtime::report_worker_failure(mpi::Rank dead) {
+  {
+    std::lock_guard<std::mutex> lock(fault_mutex_);
+    if (std::find(reported_dead_.begin(), reported_dead_.end(), dead) !=
+        reported_dead_.end())
+      return;
+    if (std::find(live_workers_.begin(), live_workers_.end(), dead) ==
+        live_workers_.end())
+      return;  // not a worker we still track (e.g. a duplicate report)
+    reported_dead_.push_back(dead);
+    // Invariant (maintained under fault_mutex_ here and in rollback):
+    // failure_pending_ is set iff reported_dead_ is non-empty, so an armed
+    // recovery always finds a corpse to process.
+    failure_pending_.store(true, std::memory_order_release);
+  }
+  OMPC_LOG_WARN("failure detector: worker rank " << dead
+                                                 << " declared dead");
+  failures_reported_.fetch_add(1, std::memory_order_acq_rel);
+  // Abort in-flight events touching the corpse (helper threads unwind with
+  // WorkerDiedError) and tell live workers to drop its pending exchanges.
+  events_.fail_rank(dead);
+  events_.announce_rank_dead(dead);
+}
 
+void Runtime::rollback(mpi::Rank dead) {
+  const Stopwatch timer;
+
+  // Re-rank: drop every reported corpse from the processor table. Detector
+  // threads read live_workers_ under fault_mutex_ (report_worker_failure),
+  // so the erase must hold it too.
+  std::vector<mpi::Rank> corpses;
+  {
+    std::lock_guard<std::mutex> lock(fault_mutex_);
+    corpses.swap(reported_dead_);
+    if (std::find(corpses.begin(), corpses.end(), dead) == corpses.end() &&
+        std::find(live_workers_.begin(), live_workers_.end(), dead) !=
+            live_workers_.end())
+      corpses.push_back(dead);  // failure seen by an event before a report
+    for (mpi::Rank r : corpses) {
+      live_workers_.erase(
+          std::remove(live_workers_.begin(), live_workers_.end(), r),
+          live_workers_.end());
+    }
+  }
+  // fail_rank outside fault_mutex_ (it takes the event system's own lock);
+  // idempotent, and covers the unreported-corpse path.
+  for (mpi::Rank r : corpses) events_.fail_rank(r);
+  stats_.workers_lost += static_cast<std::int64_t>(corpses.size());
+  // Arm the monitor's cascading-failure fallback even when the corpse was
+  // discovered by an event throw rather than a heartbeat report (the
+  // report path would have early-returned after this removal).
+  failures_reported_.fetch_add(static_cast<int>(corpses.size()),
+                               std::memory_order_acq_rel);
+
+  OMPC_CHECK_MSG(!corpses.empty(),
+                 "recovery triggered without a detected failure");
+  if (live_workers_.empty())
+    throw RecoveryError("cannot recover: every worker has died");
+  if (opts_.checkpoint_period <= 0 || !ckpt_.has_checkpoint())
+    throw RecoveryError(
+        "worker died but checkpointing is disabled "
+        "(ClusterOptions::checkpoint_period == 0); no recovery possible");
+
+  // Wait until no origin event is in flight: completions from live workers
+  // must land before we mutate the cluster-wide buffer state underneath
+  // them (a Submit racing a Delete would be a use-after-free on the
+  // worker's device heap).
+  events_.quiesce();
+
+  const std::int64_t lost_before = dm_.stats().buffers_lost.load();
+  for (mpi::Rank r : corpses) dm_.purge_rank(r);
+  stats_.buffers_lost += dm_.stats().buffers_lost.load() - lost_before;
+
+  // Roll every buffer back to the wave-boundary snapshot: worker replicas
+  // are dropped, checkpointed contents land on the head, from which replay
+  // re-distributes them to the survivors.
+  dm_.reset_all_to_host();
+  ckpt_.restore(dm_);
+
+  {
+    // A failure reported *during* this rollback stays pending and triggers
+    // another round; only a clean slate disarms recovery.
+    std::lock_guard<std::mutex> lock(fault_mutex_);
+    failure_pending_.store(!reported_dead_.empty(), std::memory_order_release);
+  }
+  ++stats_.recoveries;
+  stats_.recovery_ns += timer.elapsed_ns();
+  OMPC_LOG_WARN("recovery: rolled back to wave " << ckpt_.wave() << ", "
+                                                 << num_live_workers()
+                                                 << " workers survive");
+}
+
+void Runtime::recover_from(mpi::Rank dead) {
+  // Rollback can itself trip over yet another worker dying (its Delete
+  // events and checkpoint restores touch live workers); absorb those and
+  // keep rolling back. Only RecoveryError escapes.
+  for (;;) {
+    try {
+      rollback(dead);
+      return;
+    } catch (const WorkerDiedError& again) {
+      dead = again.rank();
+    }
+  }
+}
+
+void Runtime::run_with_recovery(const ClusterGraph* current, bool replaying) {
+  // `current` being the last wave_log_ entry (the wave being executed for
+  // the first time) must not be double-run by the replay sweep; a null
+  // current replays the WHOLE log — the between-waves repair path, where
+  // rollback regressed buffers that completed waves had already written.
+  const bool current_is_logged =
+      current != nullptr && !wave_log_.empty() && current == &wave_log_.back();
+  for (;;) {
+    try {
+      // A failure reported while the head was idle between waves arms
+      // failure_pending_ without any event throwing; surface it here so the
+      // wave never starts against a schedule containing the corpse.
+      if (failure_pending_.load(std::memory_order_acquire))
+        throw WorkerDiedError(-1);
+      if (replaying) {
+        // Re-execute the waves lost since the checkpoint. Host tasks in
+        // replayed waves run again — §5's re-execution semantics.
+        const std::size_t upto =
+            wave_log_.size() - (current_is_logged ? 1 : 0);
+        for (std::size_t i = 0; i < upto; ++i) {
+          run_wave(wave_log_[i]);
+          stats_.replayed_tasks +=
+              static_cast<std::int64_t>(wave_log_[i].size());
+        }
+      }
+      if (current != nullptr) {
+        run_wave(*current);
+        if (replaying)
+          stats_.replayed_tasks += static_cast<std::int64_t>(current->size());
+      }
+      return;
+    } catch (const WorkerDiedError& e) {
+      recover_from(e.rank());  // RecoveryError escapes when impossible
+      replaying = true;
+    }
+  }
+}
+
+void Runtime::wait_all() {
+  if (graph_.empty()) {
+    // A failure can land in the instants after the last wave completed; the
+    // cluster state must be repaired (or the condition surfaced as
+    // RecoveryError) before shutdown deletes buffers on a corpse. Repair =
+    // rollback + replay of every logged wave, so buffer contents the
+    // completed waves produced are regenerated, not silently regressed.
+    if (failure_pending_.load(std::memory_order_acquire))
+      run_with_recovery(nullptr, false);
+    return;
+  }
+  graph_.build_edges();
+
+  const bool ft = opts_.checkpoint_period > 0;
+  bool replaying = false;
+  if (ft) {
+    if (wave_index_ % opts_.checkpoint_period == 0) {
+      try {
+        ckpt_.capture(dm_, wave_index_);
+        wave_log_.clear();
+      } catch (const WorkerDiedError& e) {
+        // A worker died mid-capture. The previous snapshot is intact
+        // (capture commits atomically); roll back to it and keep the wave
+        // log — those waves still need replaying. The next boundary will
+        // retake the checkpoint.
+        recover_from(e.rank());
+        replaying = true;
+      }
+      const CheckpointStats& cs = ckpt_.stats();
+      stats_.checkpoints = cs.captures;
+      stats_.checkpoint_bytes = cs.bytes_captured;
+      stats_.checkpoint_ns = cs.capture_ns;
+    }
+    // Log the wave for replay (moved, not copied — it is executed from the
+    // log); kept until the next checkpoint makes the waves since the
+    // previous one unreachable by recovery.
+    wave_log_.push_back(std::move(graph_));
+    graph_ = fresh_graph();
+    run_with_recovery(&wave_log_.back(), replaying);
+  } else {
+    run_with_recovery(&graph_, replaying);
+    graph_ = fresh_graph();
+  }
+
+  ++wave_index_;
   ++stats_.waves;
-  graph_ = fresh_graph();
 }
 
 RuntimeStats launch(const ClusterOptions& opts,
@@ -215,14 +405,22 @@ RuntimeStats launch(const ClusterOptions& opts,
   const Stopwatch wall;
   RuntimeStats stats;
 
+  const bool hb_on = opts.heartbeat_period_ms > 0;
+
   mpi::UniverseOptions uopts;
   uopts.ranks = opts.ranks();
   uopts.network = opts.network;
-  uopts.comms = 1 + opts.vci;  // control + data communicators
+  // control + data communicators (+ a dedicated heartbeat ring comm).
+  uopts.comms = 1 + opts.vci + (hb_on ? 1 : 0);
+  uopts.kills = opts.kills;  // fault injection (§5 testing)
   // The control communicator (context 0) must own a hardware channel no
   // data context aliases onto, or notification latency serializes behind
   // multi-megabyte payload transfers (contexts stripe channel = ctx % n).
   uopts.network.channels = std::max(uopts.network.channels, opts.vci + 1);
+
+  const int hb_comm_index = 1 + opts.vci;
+  const HeartbeatRing::Options hb_opts{opts.heartbeat_period_ms,
+                                       opts.heartbeat_timeout_ms};
 
   mpi::Universe universe(uopts);
   universe.run([&](mpi::RankContext& ctx) {
@@ -230,9 +428,47 @@ RuntimeStats launch(const ClusterOptions& opts,
       // --- head node ---
       const Stopwatch startup;
       EventSystem events(ctx, opts, nullptr, nullptr);
-      stats.startup_ns = startup.elapsed_ns();
 
       Runtime rt(opts, events);
+
+      // §5 failure detection: the head sits in the heartbeat ring (catching
+      // its own predecessor's death) and runs a monitor thread collecting
+      // the reports other ring members send when *their* predecessor dies.
+      // Both paths funnel into report_worker_failure(), which arms the
+      // recovery machinery in wait_all().
+      std::unique_ptr<HeartbeatRing> ring;
+      std::thread monitor;
+      std::atomic<bool> monitor_stop{false};
+      if (hb_on) {
+        mpi::Comm hb = ctx.comm(hb_comm_index);
+        ring = std::make_unique<HeartbeatRing>(
+            hb, hb_opts, [&rt](mpi::Rank dead) {
+              rt.report_worker_failure(dead);
+            });
+        monitor = std::thread([&, hb] {
+          log::set_thread_label("fmon");
+          while (!monitor_stop.load(std::memory_order_acquire)) {
+            while (auto st = hb.iprobe(mpi::kAnySource, kFailureReportTag)) {
+              std::uint64_t dead = 0;
+              hb.recv(&dead, sizeof dead, st->source, kFailureReportTag);
+              rt.report_worker_failure(static_cast<mpi::Rank>(dead));
+            }
+            // Once the ring has a hole, a further corpse whose successor is
+            // already dead has no ring member left to flag it. Until the
+            // ring is re-linked around failures (ROADMAP), fall back to
+            // universe-level liveness for the cascading case only — the
+            // ring stays the sole detector of the first failure.
+            if (rt.failures_reported() > 0) {
+              for (mpi::Rank r = 1; r <= opts.num_workers; ++r) {
+                if (hb.universe().is_dead(r)) rt.report_worker_failure(r);
+              }
+            }
+            precise_sleep_ns(opts.heartbeat_period_ms * 1'000'000);
+          }
+        });
+      }
+      stats.startup_ns = startup.elapsed_ns();
+
       // Any head-side failure must still shut the workers down, or they
       // would wait for events forever and the join below would hang.
       std::exception_ptr error;
@@ -244,7 +480,27 @@ RuntimeStats launch(const ClusterOptions& opts,
       }
 
       const Stopwatch shutdown;
-      if (!error) rt.data_manager().cleanup_all();
+      if (!error) {
+        // A worker can die in this very window (after the last wave,
+        // before/while cleanup deletes its buffers) — which is why the
+        // ring and monitor are still running here: detection fails the
+        // blocked Delete events so this cannot hang. Capture the error so
+        // the live workers still get their Shutdown below.
+        try {
+          rt.data_manager().cleanup_all();
+        } catch (...) {
+          error = std::current_exception();
+        }
+      }
+      // Detection must stop before cluster teardown: ring members going
+      // silent one by one as they shut down must not read as failures.
+      // (shutdown_cluster itself tolerates a rank dying mid-handshake by
+      // polling liveness instead of blocking on the ack.)
+      if (ring) ring->stop();
+      if (monitor.joinable()) {
+        monitor_stop.store(true, std::memory_order_release);
+        monitor.join();
+      }
       events.shutdown_cluster();
       stats.shutdown_ns = shutdown.elapsed_ns();
       if (error) std::rethrow_exception(error);
@@ -257,6 +513,14 @@ RuntimeStats launch(const ClusterOptions& opts,
       stats.data_tasks = rs.data_tasks;
       stats.host_tasks = rs.host_tasks;
       stats.makespan_estimate_s = rs.makespan_estimate_s;
+      stats.checkpoints = rs.checkpoints;
+      stats.checkpoint_bytes = rs.checkpoint_bytes;
+      stats.checkpoint_ns = rs.checkpoint_ns;
+      stats.recoveries = rs.recoveries;
+      stats.workers_lost = rs.workers_lost;
+      stats.buffers_lost = rs.buffers_lost;
+      stats.replayed_tasks = rs.replayed_tasks;
+      stats.recovery_ns = rs.recovery_ns;
       stats.events_originated = events.stats().originated.load();
       const DataManagerStats& ds = rt.data_manager().stats();
       stats.submits = ds.submits.load();
@@ -268,7 +532,19 @@ RuntimeStats launch(const ClusterOptions& opts,
       WorkerMemory memory;
       omp::TaskRuntime exec_pool(opts.worker_threads);
       EventSystem events(ctx, opts, &memory, &exec_pool);
+      // Ring detection on workers: report the dead predecessor to the
+      // head's failure monitor (rank 0 owns recovery).
+      std::unique_ptr<HeartbeatRing> ring;
+      if (hb_on) {
+        mpi::Comm hb = ctx.comm(hb_comm_index);
+        ring = std::make_unique<HeartbeatRing>(
+            hb, hb_opts, [hb](mpi::Rank dead) {
+              const std::uint64_t r = static_cast<std::uint64_t>(dead);
+              hb.send(&r, sizeof r, 0, kFailureReportTag);
+            });
+      }
       events.wait_until_stopped();
+      if (ring) ring->stop();
     }
   });
 

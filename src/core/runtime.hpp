@@ -19,10 +19,14 @@
 // bound (the paper's proposed fix).
 #pragma once
 
+#include <atomic>
 #include <functional>
 #include <memory>
+#include <mutex>
 
+#include "core/checkpoint.hpp"
 #include "core/data_manager.hpp"
+#include "core/fault.hpp"
 #include "core/graph.hpp"
 #include "core/heft.hpp"
 #include "core/options.hpp"
@@ -49,6 +53,16 @@ struct RuntimeStats {
   std::int64_t bytes_moved = 0;
   std::int64_t messages_sent = 0;
   double makespan_estimate_s = 0.0;  ///< HEFT's prediction (last wave)
+
+  // Fault tolerance (§5): checkpoint cost and recovery work.
+  std::int64_t checkpoints = 0;       ///< wave-boundary snapshots taken
+  std::int64_t checkpoint_bytes = 0;  ///< cumulative snapshot volume
+  std::int64_t checkpoint_ns = 0;     ///< cumulative capture wall time
+  std::int64_t recoveries = 0;        ///< rollback + re-execution rounds
+  std::int64_t workers_lost = 0;      ///< ranks declared dead and dropped
+  std::int64_t buffers_lost = 0;      ///< sole-copy buffers restored
+  std::int64_t replayed_tasks = 0;    ///< tasks re-executed after rollback
+  std::int64_t recovery_ns = 0;       ///< rollback + replay wall time
 };
 
 /// Builder for a target region's positional arguments: device buffers
@@ -101,13 +115,39 @@ class Runtime {
 
   /// The implicit barrier: schedules the recorded graph (HEFT), executes
   /// it across the cluster and returns when every task has completed.
+  ///
+  /// Fault tolerance (§5): when the failure detector declares a worker dead
+  /// mid-wave and checkpointing is on (options().checkpoint_period > 0),
+  /// this rolls all buffers back to the last wave-boundary checkpoint,
+  /// re-ranks the survivors, re-schedules the lost waves with HEFT and
+  /// re-executes them — then returns normally. With checkpointing off it
+  /// throws RecoveryError instead of hanging.
   void wait_all();
+
+  // --- fault handling ---------------------------------------------------
+
+  /// Failure-detector entry point (heartbeat ring / failure monitor
+  /// threads): declares `dead` failed, aborts in-flight events touching it
+  /// and arms recovery for the current/next wave. Thread-safe; idempotent.
+  void report_worker_failure(mpi::Rank dead);
+
+  /// Distinct worker failures accepted so far (thread-safe). The failure
+  /// monitor uses this to widen detection once the ring has holes: a
+  /// corpse's ring successor may itself be dead, leaving nobody to flag it.
+  int failures_reported() const noexcept {
+    return failures_reported_.load(std::memory_order_acquire);
+  }
 
   // --- introspection ----------------------------------------------------
 
   int num_workers() const noexcept { return opts_.num_workers; }
+  /// Workers still alive (shrinks when recovery drops a corpse).
+  int num_live_workers() const noexcept {
+    return static_cast<int>(live_workers_.size());
+  }
   const ClusterOptions& options() const noexcept { return opts_; }
   DataManager& data_manager() noexcept { return dm_; }
+  CheckpointStore& checkpoints() noexcept { return ckpt_; }
   RuntimeStats& stats() noexcept { return stats_; }
 
   /// The worker assignment chosen for the most recent wave (test hook).
@@ -115,7 +155,21 @@ class Runtime {
 
  private:
   void execute_task(const ClusterTask& t, int proc);
-  void dispatch(const ScheduleResult& sched);
+  void dispatch(const ClusterGraph& graph, const ScheduleResult& sched);
+  /// Schedules `graph` onto the surviving workers and dispatches it.
+  void run_wave(const ClusterGraph& graph);
+  /// Runs `current` (nullable) with the §5 recovery loop around it: on a
+  /// worker death, rolls back to the checkpoint and replays the logged
+  /// waves (all of them when `current` is null — the between-waves repair
+  /// path) before retrying. `replaying` starts a replay round immediately
+  /// (set when the checkpoint capture itself hit the failure).
+  void run_with_recovery(const ClusterGraph* current, bool replaying);
+  /// Rolls the cluster back to the last checkpoint after `dead` failed (or
+  /// throws RecoveryError when recovery is impossible).
+  void rollback(mpi::Rank dead);
+  /// rollback() in a retry loop: absorbs workers that die during the
+  /// rollback itself. Throws only RecoveryError.
+  void recover_from(mpi::Rank dead);
   ClusterGraph fresh_graph() const;
 
   const ClusterOptions opts_;
@@ -124,6 +178,17 @@ class Runtime {
   ClusterGraph graph_;
   ScheduleResult last_;
   RuntimeStats stats_;
+
+  // Fault-tolerance state (head control thread, except reported_dead_
+  // which detector threads append to under fault_mutex_).
+  CheckpointStore ckpt_;
+  std::vector<ClusterGraph> wave_log_;     ///< waves since last checkpoint
+  std::vector<mpi::Rank> live_workers_;    ///< proc index -> minimpi rank
+  std::int64_t wave_index_ = 0;
+  std::mutex fault_mutex_;
+  std::vector<mpi::Rank> reported_dead_;   ///< detected, not yet purged
+  std::atomic<bool> failure_pending_{false};
+  std::atomic<int> failures_reported_{0};
 };
 
 /// Runs `head_main` on the head rank of a freshly simulated cluster:

@@ -88,6 +88,11 @@ Status Comm::probe(Rank src, Tag tag) const {
   return universe_->mailbox(rank_).probe(src, tag, context_);
 }
 
+void Comm::cancel(const Request& req) const {
+  if (!req.valid()) return;
+  universe_->mailbox(rank_).cancel(req.state());
+}
+
 // --- collectives -------------------------------------------------------
 //
 // Implemented over the same message path as user traffic so they pay

@@ -52,6 +52,10 @@ class Comm {
   std::optional<Status> iprobe(Rank src, Tag tag) const;
   Status probe(Rank src, Tag tag) const;
 
+  /// Cancels a posted receive of THIS rank (no-op once matched); see
+  /// Mailbox::cancel.
+  void cancel(const Request& req) const;
+
   // --- collectives (reserved tag space; one at a time per comm) -------
 
   void barrier() const;

@@ -30,6 +30,7 @@ void Mailbox::deliver(Envelope&& env) {
   std::shared_ptr<detail::RequestState> matched;
   {
     std::lock_guard<std::mutex> lock(mutex_);
+    if (poisoned_) return;  // a dead rank never receives anything
     for (auto it = posted_.begin(); it != posted_.end(); ++it) {
       if (matches(env, (*it)->source, (*it)->tag, (*it)->context)) {
         matched = *it;
@@ -62,6 +63,7 @@ Request Mailbox::post_recv(void* buf, std::size_t capacity, Rank src, Tag tag,
   std::optional<Envelope> hit;
   {
     std::lock_guard<std::mutex> lock(mutex_);
+    if (poisoned_) throw RankKilledError(rank_);
     for (auto it = unexpected_.begin(); it != unexpected_.end(); ++it) {
       if (matches(*it, src, tag, context)) {
         hit = std::move(*it);
@@ -95,6 +97,7 @@ std::optional<Status> Mailbox::iprobe(Rank src, Tag tag, ContextId context) {
 Status Mailbox::probe(Rank src, Tag tag, ContextId context) {
   std::unique_lock<std::mutex> lock(mutex_);
   for (;;) {
+    if (poisoned_) throw RankKilledError(rank_);
     for (const auto& env : unexpected_) {
       if (matches(env, src, tag, context)) return status_of(env);
     }
@@ -105,6 +108,32 @@ Status Mailbox::probe(Rank src, Tag tag, ContextId context) {
 std::size_t Mailbox::unexpected_count() const {
   std::lock_guard<std::mutex> lock(mutex_);
   return unexpected_.size();
+}
+
+void Mailbox::cancel(const std::shared_ptr<detail::RequestState>& state) {
+  if (state == nullptr) return;
+  std::lock_guard<std::mutex> lock(mutex_);
+  posted_.remove(state);
+}
+
+void Mailbox::poison(Rank rank) {
+  std::list<std::shared_ptr<detail::RequestState>> orphans;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (poisoned_) return;
+    poisoned_ = true;
+    rank_ = rank;
+    unexpected_.clear();
+    orphans.swap(posted_);
+  }
+  // Outside the mailbox lock (completion takes each request's own lock).
+  for (auto& slot : orphans) slot->kill(rank);
+  arrival_cv_.notify_all();  // blocked probes re-check poisoned_ and throw
+}
+
+bool Mailbox::poisoned() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return poisoned_;
 }
 
 }  // namespace ompc::mpi

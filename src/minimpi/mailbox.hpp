@@ -39,8 +39,22 @@ class Mailbox {
   /// its envelope metadata without consuming it.
   Status probe(Rank src, Tag tag, ContextId context);
 
+  /// Removes a posted receive from the matching engine (like
+  /// MPI_Cancel+MPI_Request_free for receives). No-op if the request
+  /// already matched. Needed when the expected sender died: the buffer the
+  /// receive points into may be reused/freed, and a stale in-flight
+  /// payload must not land in it.
+  void cancel(const std::shared_ptr<detail::RequestState>& state);
+
   /// Number of unexpected (arrived, unmatched) messages — test/debug hook.
   std::size_t unexpected_count() const;
+
+  /// Fault injection: marks the owning rank dead. Every blocked receive or
+  /// probe (and any future blocking call) throws RankKilledError; arriving
+  /// messages are dropped on the floor. `rank` is only used for the error.
+  void poison(Rank rank);
+
+  bool poisoned() const;
 
  private:
   static bool matches(const Envelope& env, Rank src, Tag tag,
@@ -54,6 +68,8 @@ class Mailbox {
   std::condition_variable arrival_cv_;  ///< Signalled on unexpected arrivals.
   std::deque<Envelope> unexpected_;
   std::list<std::shared_ptr<detail::RequestState>> posted_;
+  bool poisoned_ = false;
+  Rank rank_ = -1;  ///< set by poison(), for the error message only
 };
 
 }  // namespace ompc::mpi

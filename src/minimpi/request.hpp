@@ -23,6 +23,7 @@ struct RequestState {
   std::mutex mutex;
   std::condition_variable cv;
   bool done = false;
+  Rank killed_rank = -1;  ///< >= 0: completed by poison, wait() throws
   Status status;
 
   // Receive-side destination; unused (empty) for send requests.
@@ -43,6 +44,18 @@ struct RequestState {
     }
     cv.notify_all();
   }
+
+  /// Fault injection: completes the request exceptionally — the owning rank
+  /// died, so waiters must unwind rather than block forever.
+  void kill(Rank rank) {
+    {
+      std::lock_guard<std::mutex> lock(mutex);
+      if (done) return;  // already matched; the data won a race with death
+      killed_rank = rank;
+      done = true;
+    }
+    cv.notify_all();
+  }
 };
 
 }  // namespace detail
@@ -57,10 +70,12 @@ class Request {
 
   bool valid() const noexcept { return state_ != nullptr; }
 
-  /// Blocks until the operation completes; returns its Status.
+  /// Blocks until the operation completes; returns its Status. Throws
+  /// RankKilledError if the operation's rank was killed while it waited.
   Status wait() {
     std::unique_lock<std::mutex> lock(state_->mutex);
     state_->cv.wait(lock, [&] { return state_->done; });
+    if (state_->killed_rank >= 0) throw RankKilledError(state_->killed_rank);
     return state_->status;
   }
 
@@ -68,6 +83,7 @@ class Request {
   bool test(Status* out = nullptr) {
     std::lock_guard<std::mutex> lock(state_->mutex);
     if (!state_->done) return false;
+    if (state_->killed_rank >= 0) throw RankKilledError(state_->killed_rank);
     if (out != nullptr) *out = state_->status;
     return true;
   }

@@ -8,6 +8,8 @@
 
 #include <cstddef>
 #include <cstdint>
+#include <stdexcept>
+#include <string>
 
 namespace ompc::mpi {
 
@@ -34,6 +36,29 @@ struct Status {
   Rank source = kAnySource;
   Tag tag = kAnyTag;
   std::size_t count = 0;  ///< Payload size in bytes.
+};
+
+/// Deterministic fault-injection order: kill `rank` once the universe has
+/// been running for `at_ns` nanoseconds (see Universe::kill_rank).
+struct KillSpec {
+  Rank rank = -1;
+  std::int64_t at_ns = 0;
+};
+
+/// Thrown by blocking operations of a rank that has been killed by fault
+/// injection. Ranks are threads, so "dying" means every blocked receive or
+/// probe unwinds with this error and the rank's main function returns.
+class RankKilledError : public std::runtime_error {
+ public:
+  explicit RankKilledError(Rank rank)
+      : std::runtime_error("rank " + std::to_string(rank) +
+                           " was killed by fault injection"),
+        rank_(rank) {}
+
+  Rank rank() const noexcept { return rank_; }
+
+ private:
+  Rank rank_;
 };
 
 }  // namespace ompc::mpi

@@ -1,5 +1,6 @@
 #include "minimpi/universe.hpp"
 
+#include <algorithm>
 #include <exception>
 #include <string>
 #include <thread>
@@ -23,6 +24,9 @@ Universe::Universe(const UniverseOptions& opts)
   mailboxes_.reserve(static_cast<std::size_t>(opts_.ranks));
   for (int r = 0; r < opts_.ranks; ++r)
     mailboxes_.push_back(std::make_unique<Mailbox>());
+  dead_ = std::make_unique<std::atomic<bool>[]>(
+      static_cast<std::size_t>(std::max(1, opts_.ranks)));
+  for (int r = 0; r < opts_.ranks; ++r) dead_[static_cast<std::size_t>(r)] = false;
   if (!opts_.network.is_instant()) {
     engine_ = std::make_unique<DeliveryEngine>(
         opts_.network,
@@ -32,11 +36,71 @@ Universe::Universe(const UniverseOptions& opts)
 
 Universe::~Universe() = default;
 
+void Universe::execute_kill(Rank r) {
+  OMPC_CHECK(r >= 0 && r < opts_.ranks);
+  bool expected = false;
+  if (!dead_[static_cast<std::size_t>(r)].compare_exchange_strong(expected,
+                                                                  true))
+    return;
+  OMPC_LOG_WARN("fault injection: killing rank " << r);
+  mailbox(r).poison(r);
+}
+
+void Universe::kill_rank(Rank r, std::int64_t at_ns) {
+  std::lock_guard<std::mutex> lock(kill_mutex_);
+  pending_kills_.push_back(KillSpec{r, at_ns});
+  kill_cv_.notify_all();
+}
+
+void Universe::reaper_main() {
+  std::unique_lock<std::mutex> lock(kill_mutex_);
+  for (;;) {
+    if (reaper_stop_) return;
+    // Fire everything that is due; find the next deadline.
+    const std::int64_t elapsed =
+        std::chrono::duration_cast<std::chrono::nanoseconds>(Clock::now() -
+                                                             run_start_)
+            .count();
+    std::int64_t next_due = -1;
+    for (auto it = pending_kills_.begin(); it != pending_kills_.end();) {
+      if (it->at_ns <= elapsed) {
+        const Rank r = it->rank;
+        it = pending_kills_.erase(it);
+        lock.unlock();
+        execute_kill(r);
+        lock.lock();
+        // Restart the scan: the list may have changed while unlocked.
+        it = pending_kills_.begin();
+        continue;
+      }
+      if (next_due < 0 || it->at_ns < next_due) next_due = it->at_ns;
+      ++it;
+    }
+    if (next_due < 0) {
+      kill_cv_.wait(lock);
+    } else {
+      kill_cv_.wait_for(lock, std::chrono::nanoseconds(next_due - elapsed));
+    }
+  }
+}
+
 void Universe::run(const std::function<void(RankContext&)>& rank_main) {
   const int n = opts_.ranks;
   std::vector<std::exception_ptr> errors(static_cast<std::size_t>(n));
   std::vector<std::thread> threads;
   threads.reserve(static_cast<std::size_t>(n));
+
+  {
+    std::lock_guard<std::mutex> lock(kill_mutex_);
+    run_start_ = Clock::now();
+    running_ = true;
+    reaper_stop_ = false;
+    for (const KillSpec& k : opts_.kills) pending_kills_.push_back(k);
+  }
+  reaper_ = std::thread([this] {
+    log::set_thread_label("reaper");
+    reaper_main();
+  });
 
   for (int r = 0; r < n; ++r) {
     threads.emplace_back([this, r, &rank_main, &errors] {
@@ -44,12 +108,23 @@ void Universe::run(const std::function<void(RankContext&)>& rank_main) {
       RankContext ctx(*this, r);
       try {
         rank_main(ctx);
+      } catch (const RankKilledError&) {
+        // A killed rank unwinding is the *intended* fault-injection
+        // behaviour, not an error of the run.
       } catch (...) {
         errors[static_cast<std::size_t>(r)] = std::current_exception();
       }
     });
   }
   for (auto& t : threads) t.join();
+  {
+    std::lock_guard<std::mutex> lock(kill_mutex_);
+    running_ = false;
+    reaper_stop_ = true;
+    pending_kills_.clear();
+    kill_cv_.notify_all();
+  }
+  reaper_.join();
   for (auto& e : errors) {
     if (e) std::rethrow_exception(e);
   }
@@ -75,6 +150,9 @@ ContextId Universe::allocate_context() {
 
 void Universe::post(Envelope&& env) {
   OMPC_CHECK(env.dst >= 0 && env.dst < opts_.ranks);
+  // A dead rank neither sends nor receives: its traffic vanishes from the
+  // wire (messages already in flight when it died are still delivered).
+  if (is_dead(env.src) || is_dead(env.dst)) return;
   messages_sent_.fetch_add(1, std::memory_order_relaxed);
   env.channel = env.context % opts_.network.channels;
   // Self-sends never cross the NIC: deliver through the local queue at

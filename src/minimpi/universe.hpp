@@ -6,8 +6,11 @@
 #pragma once
 
 #include <atomic>
+#include <condition_variable>
 #include <functional>
 #include <memory>
+#include <mutex>
+#include <thread>
 #include <vector>
 
 #include "minimpi/comm.hpp"
@@ -22,6 +25,9 @@ struct UniverseOptions {
   /// Number of pre-created communicator contexts (the paper's event system
   /// round-robins events over these; see Comm selection in src/core).
   int comms = 1;
+  /// Fault injection: ranks to kill at fixed offsets from run() start. The
+  /// same effect as calling kill_rank() for each entry once run() begins.
+  std::vector<KillSpec> kills;
 };
 
 /// Per-rank execution context handed to the rank main function.
@@ -69,6 +75,19 @@ class Universe {
   /// Allocates a fresh communicator context (Comm::dup).
   ContextId allocate_context();
 
+  // --- fault injection (paper §5: failures must be testable) ------------
+
+  /// Schedules rank `r` to die `at_ns` nanoseconds after run() starts (or
+  /// immediately, if run() is already past that point). Death poisons the
+  /// rank's mailbox — its blocked receives throw RankKilledError so the
+  /// rank thread unwinds — and silently drops all its future traffic.
+  void kill_rank(Rank r, std::int64_t at_ns);
+
+  /// Whether `r` has been killed by fault injection.
+  bool is_dead(Rank r) const {
+    return dead_[static_cast<std::size_t>(r)].load(std::memory_order_acquire);
+  }
+
   /// Total messages put on the wire (instant + delayed).
   std::int64_t messages_sent() const noexcept {
     return messages_sent_.load(std::memory_order_relaxed);
@@ -79,11 +98,25 @@ class Universe {
   Mailbox& mailbox(Rank rank);
 
  private:
+  void execute_kill(Rank r);
+  void reaper_main();
+
   UniverseOptions opts_;
   std::vector<std::unique_ptr<Mailbox>> mailboxes_;
   std::unique_ptr<DeliveryEngine> engine_;  ///< Null for an instant network.
   std::atomic<ContextId> next_context_;
   std::atomic<std::int64_t> messages_sent_{0};
+
+  // Fault injection: pending kills ordered by deadline, executed by the
+  // reaper thread while run() is active.
+  std::unique_ptr<std::atomic<bool>[]> dead_;
+  std::mutex kill_mutex_;
+  std::condition_variable kill_cv_;
+  std::vector<KillSpec> pending_kills_;  ///< at_ns relative to run() start
+  TimePoint run_start_{};
+  bool running_ = false;
+  bool reaper_stop_ = false;
+  std::thread reaper_;
 };
 
 }  // namespace ompc::mpi
