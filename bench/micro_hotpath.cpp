@@ -1,0 +1,204 @@
+// Head hot-path microbenchmark: per-task head overhead, thread churn,
+// payload copies and checkpoint volume — the three overheads the paper's
+// Fig. 7a isolates, reported as machine-checkable JSON (BENCH_hotpath.json)
+// so regressions fail CI instead of drifting.
+//
+// Asserted invariants (exit 1 on violation):
+//  - threads_spawned is wave-count-independent: pools are created once per
+//    launch, so a steady-state wave spawns ZERO threads;
+//  - every data transfer (submit/retrieve/exchange) performs exactly ONE
+//    payload byte-copy (the delivery fill) — the zero-copy data plane;
+//  - on a sparse-writer workload (1 of N buffers written per interval) the
+//    dirty-set checkpointer copies well under half of the full-snapshot
+//    volume.
+#include <cstdint>
+#include <cstdio>
+#include <fstream>
+#include <vector>
+
+#include "bench_util.hpp"
+#include "common/stats.hpp"
+#include "core/runtime.hpp"
+#include "offload/kernel_registry.hpp"
+
+namespace {
+
+using namespace ompc;
+
+/// buffers[0]: u64 cell, incremented once per task (every task is a writer,
+/// so waves move data and dirty their outputs).
+const offload::KernelId kBump =
+    offload::KernelRegistry::instance().register_kernel(
+        "hotpath_bump", [](offload::KernelContext& ctx) {
+          *ctx.buffer<std::uint64_t>(0) += 1;
+        });
+
+/// `waves` waves of `width` independent one-buffer tasks (explicit
+/// wait_all per wave — the head hot path, uncontaminated by compute).
+core::RuntimeStats run_waves(int waves, int width, int workers) {
+  core::ClusterOptions opts;
+  opts.num_workers = workers;
+  std::vector<std::uint64_t> cells(static_cast<std::size_t>(width), 0);
+  core::RuntimeStats stats = core::launch(opts, [&](core::Runtime& rt) {
+    for (auto& c : cells) rt.enter_data(&c, sizeof c);
+    for (int w = 0; w < waves; ++w) {
+      for (auto& c : cells) {
+        core::Args args;
+        args.buf(&c);
+        rt.target({omp::inout(&c)}, kBump, std::move(args));
+      }
+      rt.wait_all();
+    }
+    for (auto& c : cells) rt.exit_data(&c);
+  });
+  for (const auto c : cells) {
+    if (c != static_cast<std::uint64_t>(waves)) {
+      std::fprintf(stderr, "VALIDATION FAILED: cell=%llu waves=%d\n",
+                   static_cast<unsigned long long>(c), waves);
+      std::exit(1);
+    }
+  }
+  return stats;
+}
+
+/// Sparse-writer fault-tolerant run: N buffers, one written per wave,
+/// checkpoint at every boundary. The dirty-set win in its purest form.
+core::RuntimeStats run_sparse_checkpointed(int waves, int buffers,
+                                           std::size_t bytes_each) {
+  core::ClusterOptions opts;
+  opts.num_workers = 2;
+  opts.checkpoint_period = 1;
+  std::vector<std::vector<std::uint64_t>> bufs(
+      static_cast<std::size_t>(buffers),
+      std::vector<std::uint64_t>(bytes_each / sizeof(std::uint64_t), 0));
+  core::RuntimeStats stats = core::launch(opts, [&](core::Runtime& rt) {
+    for (auto& b : bufs) rt.enter_data(b.data(), bytes_each);
+    for (int w = 0; w < waves; ++w) {
+      auto& victim = bufs[static_cast<std::size_t>(w % buffers)];
+      core::Args args;
+      args.buf(victim.data());
+      rt.target({omp::inout(victim.data())}, kBump, std::move(args));
+      rt.wait_all();
+    }
+    for (auto& b : bufs) rt.exit_data(b.data());
+  });
+  return stats;
+}
+
+}  // namespace
+
+int main() {
+  using ompc::core::RuntimeStats;
+
+  const int reps = ompc::bench::repetitions();
+  constexpr int kWidth = 16;
+  constexpr int kWorkers = 2;
+  constexpr int kWavesShort = 2;
+  constexpr int kWavesLong = 10;
+
+  std::printf("=== micro_hotpath: head hot-path overheads (%d reps) ===\n",
+              reps);
+
+  // --- dispatch churn + per-task head overhead + payload copies ----------
+  ompc::RunningStats overhead_us;
+  std::int64_t threads_short = 0, threads_long = 0;
+  std::int64_t copies = 0, transfers = 0;
+  for (int rep = 0; rep < reps; ++rep) {
+    const RuntimeStats s2 = run_waves(kWavesShort, kWidth, kWorkers);
+    const RuntimeStats s10 = run_waves(kWavesLong, kWidth, kWorkers);
+    threads_short = s2.threads_spawned;
+    threads_long = s10.threads_spawned;
+    const std::int64_t tasks = s10.target_tasks + s10.data_tasks;
+    overhead_us.add(
+        static_cast<double>(s10.wall_ns - s10.startup_ns - s10.shutdown_ns) /
+        static_cast<double>(tasks) / 1e3);
+    copies = s10.payload_copies;
+    transfers = s10.submits + s10.retrieves + s10.exchanges;
+  }
+  const double threads_per_steady_wave =
+      static_cast<double>(threads_long - threads_short) /
+      static_cast<double>(kWavesLong - kWavesShort);
+  const double copies_per_transfer =
+      transfers == 0 ? 0.0
+                     : static_cast<double>(copies) /
+                           static_cast<double>(transfers);
+
+  // --- dirty-set checkpoint volume ---------------------------------------
+  constexpr int kCkptWaves = 8;
+  constexpr int kCkptBuffers = 16;
+  constexpr std::size_t kCkptBytes = 4096;
+  const RuntimeStats cs =
+      run_sparse_checkpointed(kCkptWaves, kCkptBuffers, kCkptBytes);
+  const double dirty_ratio =
+      cs.checkpoint_bytes == 0
+          ? 1.0
+          : static_cast<double>(cs.checkpoint_dirty_bytes) /
+                static_cast<double>(cs.checkpoint_bytes);
+
+  std::printf("per-task head overhead : %.1f +- %.1f us\n", overhead_us.mean(),
+              overhead_us.stddev());
+  std::printf("threads spawned        : %lld per launch, %.2f per steady wave\n",
+              static_cast<long long>(threads_long), threads_per_steady_wave);
+  std::printf("payload copies         : %lld for %lld transfers (%.2f each)\n",
+              static_cast<long long>(copies),
+              static_cast<long long>(transfers), copies_per_transfer);
+  std::printf("checkpoint volume      : %lld dirty of %lld logical bytes "
+              "(ratio %.3f, %lld captures)\n",
+              static_cast<long long>(cs.checkpoint_dirty_bytes),
+              static_cast<long long>(cs.checkpoint_bytes), dirty_ratio,
+              static_cast<long long>(cs.checkpoints));
+
+  {
+    std::ofstream json("BENCH_hotpath.json");
+    json << "{\n"
+         << "  \"bench\": \"micro_hotpath\",\n"
+         << "  \"reps\": " << reps << ",\n"
+         << "  \"waves\": " << kWavesLong << ",\n"
+         << "  \"tasks_per_wave\": " << kWidth << ",\n"
+         << "  \"workers\": " << kWorkers << ",\n"
+         << "  \"head_overhead_us_per_task_mean\": " << overhead_us.mean()
+         << ",\n"
+         << "  \"head_overhead_us_per_task_stddev\": " << overhead_us.stddev()
+         << ",\n"
+         << "  \"threads_spawned_per_launch\": " << threads_long << ",\n"
+         << "  \"threads_spawned_per_steady_wave\": "
+         << threads_per_steady_wave << ",\n"
+         << "  \"payload_copies\": " << copies << ",\n"
+         << "  \"data_transfers\": " << transfers << ",\n"
+         << "  \"copies_per_transfer\": " << copies_per_transfer << ",\n"
+         << "  \"checkpoint_captures\": " << cs.checkpoints << ",\n"
+         << "  \"checkpoint_logical_bytes\": " << cs.checkpoint_bytes << ",\n"
+         << "  \"checkpoint_dirty_bytes\": " << cs.checkpoint_dirty_bytes
+         << ",\n"
+         << "  \"checkpoint_dirty_ratio\": " << dirty_ratio << "\n"
+         << "}\n";
+  }
+  std::printf("wrote BENCH_hotpath.json\n");
+
+  // --- hard gates (CI fails on regression) -------------------------------
+  int status = 0;
+  if (threads_per_steady_wave != 0.0) {
+    std::fprintf(stderr,
+                 "FAIL: steady-state waves spawned %.2f threads (want 0) — "
+                 "a pool is being re-created per wave\n",
+                 threads_per_steady_wave);
+    status = 1;
+  }
+  if (copies != transfers) {
+    std::fprintf(stderr,
+                 "FAIL: %lld payload copies for %lld transfers (want exactly "
+                 "1 per transfer) — a staging copy crept back in\n",
+                 static_cast<long long>(copies),
+                 static_cast<long long>(transfers));
+    status = 1;
+  }
+  if (dirty_ratio >= 0.5) {
+    std::fprintf(stderr,
+                 "FAIL: checkpoint dirty ratio %.3f (want < 0.5 on the "
+                 "sparse-writer workload) — capture is re-copying clean "
+                 "buffers\n",
+                 dirty_ratio);
+    status = 1;
+  }
+  return status;
+}

@@ -1,6 +1,7 @@
 #include "core/checkpoint.hpp"
 
 #include <cstring>
+#include <unordered_map>
 
 #include "common/time.hpp"
 
@@ -8,36 +9,65 @@ namespace ompc::core {
 
 void CheckpointStore::capture(DataManager& dm, std::int64_t wave) {
   const Stopwatch timer;
-  // Build aside and commit atomically: a worker can die mid-capture (the
-  // refresh_head retrieve throws), and recovery then rolls back to the
-  // PREVIOUS snapshot — which must still be intact.
+  // The dirty set is read, not consumed: it is cleared only after the new
+  // snapshot commits, so a worker dying mid-capture (the refresh_head
+  // retrieve throws) leaves both the PREVIOUS snapshot and the set of
+  // buffers that still need capturing intact for the retake at the next
+  // boundary.
+  const auto dirty = dm.dirty_buffers();
+  std::unordered_map<const void*, const Entry*> prev;
+  prev.reserve(entries_.size());
+  for (const Entry& e : entries_) prev.emplace(e.host, &e);
+
   std::vector<Entry> fresh;
-  std::int64_t bytes = 0;
+  std::int64_t logical = 0;
+  std::int64_t copied = 0;
+  std::int64_t reused = 0;
   dm.for_each_buffer([&](void* host, std::size_t size) {
-    // The freshest copy may live on a worker; pull it home. Worker replicas
-    // stay valid (a checkpoint read must not perturb placement).
-    dm.refresh_head(host);
     Entry e;
     e.host = host;
     e.size = size;
-    e.data.resize(size);
-    std::memcpy(e.data.data(), host, size);
-    bytes += static_cast<std::int64_t>(size);
+    const auto it = prev.find(host);
+    const bool clean = it != prev.end() && it->second->size == size &&
+                       dirty.count(host) == 0;
+    if (clean) {
+      // Unwritten since the last committed capture: the old entry's bytes
+      // still equal the buffer's logical content. Keep them by reference —
+      // no retrieve, no copy.
+      e.data = it->second->data;
+      ++reused;
+    } else {
+      // The freshest copy may live on a worker; pull it home. Worker
+      // replicas stay valid (a checkpoint read must not perturb placement).
+      dm.refresh_head(host);
+      auto bytes = std::make_shared<Bytes>(size);
+      std::memcpy(bytes->data(), host, size);
+      e.data = std::move(bytes);
+      copied += static_cast<std::int64_t>(size);
+    }
+    logical += static_cast<std::int64_t>(size);
     fresh.push_back(std::move(e));
   });
   entries_ = std::move(fresh);
   wave_ = wave;
   have_ = true;
+  dm.mark_all_clean();  // commit point: everything captured or reused
   ++stats_.captures;
-  stats_.bytes_captured += bytes;
+  stats_.bytes_captured += logical;
+  stats_.dirty_bytes += copied;
+  stats_.entries_reused += reused;
   stats_.capture_ns += timer.elapsed_ns();
 }
 
 void CheckpointStore::restore(DataManager& dm) {
   for (const Entry& e : entries_) {
     dm.restore_buffer(e.host, e.size,
-                      std::span<const std::byte>(e.data.data(), e.size));
+                      std::span<const std::byte>(e.data->data(), e.size));
   }
+  // Every checkpointed buffer now holds exactly its captured bytes, so
+  // nothing is dirty relative to this snapshot; the replay re-marks what it
+  // rewrites.
+  dm.mark_all_clean();
   ++stats_.restores;
 }
 

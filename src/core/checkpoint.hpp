@@ -6,16 +6,22 @@
 // of registered buffers — resolved to their freshest copies through the
 // Data Manager's ownership map — IS the global state of the computation.
 //
-// capture() walks that map: buffers whose freshest copy lives on a worker
-// are first retrieved to the head (the checkpoint cost the
-// bench/ablation_recovery knob trades against re-execution work), then all
-// host copies are snapshotted into head memory. restore() plays the
-// snapshot back through the Data Manager after a failure: every buffer
-// becomes "valid on head only" with its checkpointed contents, from which
-// the lost waves are re-executed on the surviving workers.
+// capture() is *incremental*: the Data Manager's dirty set (buffers written
+// since the last committed capture — it already knows every writer through
+// after_write) selects what must be retrieved to the head and re-
+// snapshotted; clean buffers keep their previous entry by reference
+// (shared, immutable bytes), costing neither a retrieve nor a copy. On a
+// sparse-writer workload the per-boundary checkpoint cost shrinks from the
+// full working set to the written subset (the ROADMAP "incremental /
+// dirty-buffer checkpoints" item; bench/micro_hotpath measures it).
+// restore() plays the snapshot back through the Data Manager after a
+// failure: every buffer becomes "valid on head only" with its checkpointed
+// contents, from which the lost waves are re-executed on the surviving
+// workers.
 #pragma once
 
 #include <cstdint>
+#include <memory>
 #include <vector>
 
 #include "common/serialize.hpp"
@@ -26,7 +32,9 @@ namespace ompc::core {
 struct CheckpointStats {
   std::int64_t captures = 0;
   std::int64_t restores = 0;
-  std::int64_t bytes_captured = 0;  ///< cumulative snapshot volume
+  std::int64_t bytes_captured = 0;  ///< cumulative logical snapshot volume
+  std::int64_t dirty_bytes = 0;     ///< cumulative bytes actually copied
+  std::int64_t entries_reused = 0;  ///< clean entries kept by reference
   std::int64_t capture_ns = 0;      ///< cumulative capture wall time
 };
 
@@ -40,10 +48,13 @@ class CheckpointStore {
 
   std::size_t num_buffers() const noexcept { return entries_.size(); }
 
-  /// Snapshots every registered buffer at a wave boundary. Retrieves
-  /// worker-resident copies to the head first; must therefore run at a
+  /// Snapshots every registered buffer at a wave boundary. Only buffers in
+  /// the Data Manager's dirty set are retrieved and copied; clean buffers
+  /// reuse the previous snapshot's entry by reference. Must run at a
   /// quiescent point (between waves). Replaces any previous snapshot —
-  /// recovery is always to the most recent wave boundary checkpoint.
+  /// recovery is always to the most recent wave boundary checkpoint — and
+  /// commits atomically: a worker dying mid-capture leaves the previous
+  /// snapshot (and the dirty set) intact.
   void capture(DataManager& dm, std::int64_t wave);
 
   /// Rolls every checkpointed buffer back: re-registers buffers a DataExit
@@ -58,7 +69,9 @@ class CheckpointStore {
   struct Entry {
     void* host = nullptr;
     std::size_t size = 0;
-    Bytes data;
+    /// Immutable once captured; shared between consecutive snapshot
+    /// generations so clean buffers cost no copy.
+    std::shared_ptr<const Bytes> data;
   };
 
   std::vector<Entry> entries_;

@@ -2,26 +2,41 @@
 
 #include <algorithm>
 #include <cstring>
-#include <thread>
+#include <latch>
 
 #include "common/check.hpp"
 #include "common/log.hpp"
 
 namespace ompc::core {
 
+DataManager::DataManager(EventSystem& events, const ClusterOptions& opts)
+    : events_(events), opts_(opts) {
+  const int n = opts_.transfer_threads > 0 ? opts_.transfer_threads
+                                           : opts_.cluster_pool_threads();
+  transfer_pool_ = std::make_unique<HelperPool>(n, "xfer");
+  stats_.threads_spawned.fetch_add(transfer_pool_->num_threads(),
+                                   std::memory_order_relaxed);
+}
+
 void DataManager::register_buffer(void* host, std::size_t size) {
-  std::lock_guard<std::mutex> lock(mutex_);
-  auto it = buffers_.find(host);
-  OMPC_CHECK_MSG(it == buffers_.end(),
-                 "buffer " << host << " is already mapped (exit it first)");
-  auto b = std::make_unique<BufferState>();
-  b->host = host;
-  b->size = size;
-  buffers_.emplace(host, std::move(b));
+  {
+    std::unique_lock<std::shared_mutex> lock(mutex_);
+    auto it = buffers_.find(host);
+    OMPC_CHECK_MSG(it == buffers_.end(),
+                   "buffer " << host << " is already mapped (exit it first)");
+    auto b = std::make_unique<BufferState>();
+    b->host = host;
+    b->size = size;
+    buffers_.emplace(host, std::move(b));
+  }
+  // A fresh mapping has no checkpoint entry to reuse.
+  mark_dirty(host);
 }
 
 DataManager::BufferState* DataManager::find(const void* host) const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  // Reader-side lookup: every helper and transfer thread comes through
+  // here, so readers share the lock; only register/erase are exclusive.
+  std::shared_lock<std::shared_mutex> lock(mutex_);
   auto it = buffers_.find(host);
   return it == buffers_.end() ? nullptr : it->second.get();
 }
@@ -36,7 +51,7 @@ std::size_t DataManager::buffer_size(const void* host) const {
 }
 
 std::size_t DataManager::num_buffers() const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  std::shared_lock<std::shared_mutex> lock(mutex_);
   return buffers_.size();
 }
 
@@ -129,32 +144,28 @@ offload::TargetPtr DataManager::ensure_on(mpi::Rank worker, BufferState& b) {
     stats_.exchanges.fetch_add(1, std::memory_order_relaxed);
   } else if (src >= 0) {
     // Forwarding::ViaHead ablation strawman: bounce through the head's
-    // host buffer (serialized on the buffer lock — intentionally naive).
-    std::unique_lock<std::mutex> lk(b.lock);
-    if (!b.on_head) {
-      const offload::TargetPtr src_ptr = b.addr.at(src);
-      lk.unlock();
-      events_.start_retrieve(src, src_ptr, b.host, b.size)->wait();
-      stats_.retrieves.fetch_add(1, std::memory_order_relaxed);
-      stats_.bytes_moved.fetch_add(static_cast<std::int64_t>(b.size),
-                                   std::memory_order_relaxed);
-      lk.lock();
-      b.on_head = true;
+    // host buffer (still the naive policy — but staged once, not copied
+    // again into the payload).
+    {
+      std::unique_lock<std::mutex> lk(b.lock);
+      fetch_to_head_locked(b, lk);
     }
-    Bytes payload(b.size);
-    std::memcpy(payload.data(), b.host, b.size);
-    lk.unlock();
     ArchiveWriter w;
     w.put(SubmitHeader{dst, b.size});
-    events_.run(worker, EventKind::Submit, w.take(), std::move(payload));
+    // Borrowed, not copied: run() blocks until the worker's completion,
+    // which it sends only after the payload landed in its device buffer —
+    // so b.host outlives the flight, and fetch_to_head_locked's coalescing
+    // keeps anyone from rewriting it meanwhile.
+    events_.run(worker, EventKind::Submit, w.take(),
+                mpi::Payload::borrow(b.host, b.size));
     stats_.submits.fetch_add(1, std::memory_order_relaxed);
   } else {
-    // Only the head has the data: submit host -> worker.
-    Bytes payload(b.size);
-    std::memcpy(payload.data(), b.host, b.size);
+    // Only the head has the data: submit host -> worker, zero-copy (see
+    // above for why borrowing is safe).
     ArchiveWriter w;
     w.put(SubmitHeader{dst, b.size});
-    events_.run(worker, EventKind::Submit, w.take(), std::move(payload));
+    events_.run(worker, EventKind::Submit, w.take(),
+                mpi::Payload::borrow(b.host, b.size));
     stats_.submits.fetch_add(1, std::memory_order_relaxed);
   }
   stats_.bytes_moved.fetch_add(static_cast<std::int64_t>(b.size),
@@ -205,29 +216,12 @@ void DataManager::exit_to_head(void* host, bool copy) {
   OMPC_CHECK_MSG(b != nullptr, "exit data for unregistered buffer " << host);
   {
     std::unique_lock<std::mutex> lk(b->lock);
-    if (copy && !b->on_head) {
-      mpi::Rank src = -1;
-      for (const auto& [r, st] : b->state) {
-        if (st == CopyState::Valid) {
-          src = r;
-          break;
-        }
-      }
-      OMPC_CHECK_MSG(src >= 0, "no valid copy of buffer to retrieve");
-      const offload::TargetPtr src_ptr = b->addr.at(src);
-      lk.unlock();
-      events_.start_retrieve(src, src_ptr, host, b->size)->wait();
-      stats_.retrieves.fetch_add(1, std::memory_order_relaxed);
-      stats_.bytes_moved.fetch_add(static_cast<std::int64_t>(b->size),
-                                   std::memory_order_relaxed);
-      lk.lock();
-      b->on_head = true;
-    }
+    if (copy) fetch_to_head_locked(*b, lk);
     // Remove from the entire cluster (§4.3 exit rule).
     while (!b->addr.empty())
       delete_on_locked(b->addr.begin()->first, *b, lk);
   }
-  std::lock_guard<std::mutex> lock(mutex_);
+  std::unique_lock<std::shared_mutex> lock(mutex_);
   buffers_.erase(host);
 }
 
@@ -248,19 +242,30 @@ std::vector<offload::TargetPtr> DataManager::prepare_args(
   }
   // A target region's inputs arrive from independent locations; fetch them
   // concurrently so one task pays max(transfer) instead of sum(transfer).
-  // (ensure_on already coalesces duplicate buffers in the argument list.)
-  // Fetcher failures (a worker dying mid-transfer) are re-raised here so
-  // the helper thread running the task sees them.
+  // The extra fetches run as jobs on the persistent transfer pool (shared
+  // by every in-flight task) instead of freshly spawned threads — per-task
+  // thread churn was a measurable slice of head overhead. Transfer jobs
+  // never submit further jobs, so a saturated pool only queues, it cannot
+  // deadlock. (ensure_on already coalesces duplicate buffers.) Fetcher
+  // failures (a worker dying mid-transfer) are re-raised here so the
+  // helper thread running the task sees them.
+  // Shared, not stack-allocated: wait() can return while the last job is
+  // still inside count_down()'s notify, which would race a stack latch's
+  // destructor; the jobs' copies keep it alive past that window. (out/
+  // errors/states stay stack refs — their writes happen before count_down,
+  // which wait() synchronizes with.)
+  auto fetched =
+      std::make_shared<std::latch>(static_cast<std::ptrdiff_t>(states.size() - 1));
   std::vector<std::exception_ptr> errors(states.size());
-  std::vector<std::thread> fetchers;
-  fetchers.reserve(states.size() - 1);
   for (std::size_t i = 1; i < states.size(); ++i) {
-    fetchers.emplace_back([&, i] {
+    transfer_pool_->submit([this, worker, &states, &out, &errors, fetched,
+                            i] {
       try {
         out[i] = ensure_on(worker, *states[i]);
       } catch (...) {
         errors[i] = std::current_exception();
       }
+      fetched->count_down();
     });
   }
   try {
@@ -268,7 +273,7 @@ std::vector<offload::TargetPtr> DataManager::prepare_args(
   } catch (...) {
     errors[0] = std::current_exception();
   }
-  for (auto& f : fetchers) f.join();
+  fetched->wait();
   for (auto& e : errors) {
     if (e) std::rethrow_exception(e);
   }
@@ -299,13 +304,22 @@ void DataManager::after_write(mpi::Rank worker, const omp::DepList& deps) {
     b->state.clear();
     b->state[worker] = CopyState::Valid;
     b->on_head = false;
+    lk.unlock();
+    mark_dirty(d.addr);
+  }
+}
+
+void DataManager::after_host_write(const omp::DepList& deps) {
+  for (const omp::Dep& d : deps) {
+    if (!omp::is_write(d.type)) continue;
+    if (is_registered(d.addr)) mark_dirty(d.addr);
   }
 }
 
 void DataManager::cleanup_all() {
   std::vector<BufferState*> all;
   {
-    std::lock_guard<std::mutex> lock(mutex_);
+    std::shared_lock<std::shared_mutex> lock(mutex_);
     for (auto& [host, b] : buffers_) {
       (void)host;
       all.push_back(b.get());
@@ -316,38 +330,57 @@ void DataManager::cleanup_all() {
     while (!b->addr.empty())
       delete_on_locked(b->addr.begin()->first, *b, lk);
   }
-  std::lock_guard<std::mutex> lock(mutex_);
+  std::unique_lock<std::shared_mutex> lock(mutex_);
   buffers_.clear();
+}
+
+void DataManager::fetch_to_head_locked(BufferState& b,
+                                       std::unique_lock<std::mutex>& lk) {
+  for (;;) {
+    if (b.on_head) return;
+    if (!b.head_fetching) break;  // this thread owns the retrieve
+    b.cv.wait(lk);
+  }
+  mpi::Rank src = -1;
+  for (const auto& [r, st] : b.state) {
+    if (st == CopyState::Valid) {
+      src = r;
+      break;
+    }
+  }
+  OMPC_CHECK_MSG(src >= 0, "no valid copy of buffer to retrieve");
+  const offload::TargetPtr src_ptr = b.addr.at(src);
+  b.head_fetching = true;
+  lk.unlock();
+  try {
+    events_.start_retrieve(src, src_ptr, b.host, b.size)->wait();
+  } catch (...) {
+    lk.lock();
+    b.head_fetching = false;
+    b.cv.notify_all();
+    throw;
+  }
+  stats_.retrieves.fetch_add(1, std::memory_order_relaxed);
+  stats_.bytes_moved.fetch_add(static_cast<std::int64_t>(b.size),
+                               std::memory_order_relaxed);
+  lk.lock();
+  b.head_fetching = false;
+  b.on_head = true;
+  b.cv.notify_all();
 }
 
 void DataManager::refresh_head(const void* host) {
   BufferState* b = find(host);
   OMPC_CHECK_MSG(b != nullptr, "refresh_head for unregistered buffer " << host);
   std::unique_lock<std::mutex> lk(b->lock);
-  if (b->on_head) return;
-  mpi::Rank src = -1;
-  for (const auto& [r, st] : b->state) {
-    if (st == CopyState::Valid) {
-      src = r;
-      break;
-    }
-  }
-  OMPC_CHECK_MSG(src >= 0, "no valid copy of buffer to checkpoint");
-  const offload::TargetPtr src_ptr = b->addr.at(src);
-  lk.unlock();
-  events_.start_retrieve(src, src_ptr, b->host, b->size)->wait();
-  stats_.retrieves.fetch_add(1, std::memory_order_relaxed);
-  stats_.bytes_moved.fetch_add(static_cast<std::int64_t>(b->size),
-                               std::memory_order_relaxed);
-  lk.lock();
-  b->on_head = true;
+  fetch_to_head_locked(*b, lk);
 }
 
 void DataManager::for_each_buffer(
     const std::function<void(void*, std::size_t)>& fn) const {
   std::vector<std::pair<void*, std::size_t>> all;
   {
-    std::lock_guard<std::mutex> lock(mutex_);
+    std::shared_lock<std::shared_mutex> lock(mutex_);
     all.reserve(buffers_.size());
     for (const auto& [host, b] : buffers_) {
       (void)host;
@@ -360,7 +393,7 @@ void DataManager::for_each_buffer(
 void DataManager::purge_rank(mpi::Rank dead) {
   std::vector<BufferState*> all;
   {
-    std::lock_guard<std::mutex> lock(mutex_);
+    std::shared_lock<std::shared_mutex> lock(mutex_);
     for (auto& [host, b] : buffers_) {
       (void)host;
       all.push_back(b.get());
@@ -392,7 +425,7 @@ void DataManager::purge_rank(mpi::Rank dead) {
 void DataManager::reset_all_to_host() {
   std::vector<BufferState*> all;
   {
-    std::lock_guard<std::mutex> lock(mutex_);
+    std::shared_lock<std::shared_mutex> lock(mutex_);
     for (auto& [host, b] : buffers_) {
       (void)host;
       all.push_back(b.get());
@@ -420,6 +453,21 @@ void DataManager::restore_buffer(void* host, std::size_t size,
   b->state.clear();
   std::memcpy(host, content.data(), size);
   b->on_head = true;
+}
+
+void DataManager::mark_dirty(const void* host) {
+  std::lock_guard<std::mutex> lock(dirty_mutex_);
+  dirty_.insert(host);
+}
+
+std::unordered_set<const void*> DataManager::dirty_buffers() const {
+  std::lock_guard<std::mutex> lock(dirty_mutex_);
+  return dirty_;
+}
+
+void DataManager::mark_all_clean() {
+  std::lock_guard<std::mutex> lock(dirty_mutex_);
+  dirty_.clear();
 }
 
 DataManager::Snapshot DataManager::snapshot(const void* host) const {

@@ -28,11 +28,14 @@
 #include <memory>
 #include <mutex>
 #include <set>
+#include <shared_mutex>
 #include <span>
 #include <unordered_map>
+#include <unordered_set>
 #include <vector>
 
 #include "core/event_system.hpp"
+#include "core/helper_pool.hpp"
 #include "core/options.hpp"
 #include "omptask/dep.hpp"
 
@@ -46,12 +49,12 @@ struct DataManagerStats {
   std::atomic<std::int64_t> deletes{0};
   std::atomic<std::int64_t> bytes_moved{0};
   std::atomic<std::int64_t> buffers_lost{0};  ///< sole copy was on a corpse
+  std::atomic<std::int64_t> threads_spawned{0};  ///< transfer-pool spawns
 };
 
 class DataManager {
  public:
-  DataManager(EventSystem& events, const ClusterOptions& opts)
-      : events_(events), opts_(opts) {}
+  DataManager(EventSystem& events, const ClusterOptions& opts);
 
   // --- registration (recording phase, single-threaded head) -----------
 
@@ -78,8 +81,15 @@ class DataManager {
       mpi::Rank worker, std::span<const void* const> buffers);
 
   /// Applies post-execution invalidation: each written dependence leaves
-  /// `worker` as the only valid location.
+  /// `worker` as the only valid location (and marks the buffer dirty for
+  /// the next incremental checkpoint).
   void after_write(mpi::Rank worker, const omp::DepList& deps);
+
+  /// Host-task equivalent of after_write's dirty marking: a host task
+  /// writes `host` memory directly (the head copy stays authoritative, no
+  /// replica invalidation to do), but the incremental checkpointer must
+  /// still re-capture every written buffer.
+  void after_host_write(const omp::DepList& deps);
 
   /// Deletes every remaining device allocation (pre-shutdown sweep for
   /// buffers the program never exited).
@@ -117,6 +127,21 @@ class DataManager {
   void restore_buffer(void* host, std::size_t size,
                       std::span<const std::byte> content);
 
+  // --- dirty-set tracking (incremental checkpoints) --------------------
+  //
+  // A buffer is dirty when its logical content may have changed since the
+  // last successful checkpoint capture: it was registered, or a task wrote
+  // it (after_write). Capture copies exactly the dirty set and keeps clean
+  // entries by reference; it calls mark_all_clean() only after committing,
+  // so a capture that dies mid-way leaves the set conservatively intact.
+
+  /// Snapshot of the currently-dirty buffers (thread-safe).
+  std::unordered_set<const void*> dirty_buffers() const;
+
+  /// Clears the dirty set (after a committed capture, or after restore —
+  /// which rewrites every checkpointed buffer to its captured content).
+  void mark_all_clean();
+
   // --- introspection (tests) ------------------------------------------
 
   struct Snapshot {
@@ -138,6 +163,7 @@ class DataManager {
     void* host = nullptr;
     std::size_t size = 0;
     bool on_head = true;  ///< host copy valid
+    bool head_fetching = false;  ///< a retrieve into `host` is in flight
     std::map<mpi::Rank, offload::TargetPtr> addr;  ///< device allocations
     std::map<mpi::Rank, CopyState> state;
     std::mutex lock;  ///< guards addr/state/on_head (not the transfers)
@@ -159,11 +185,31 @@ class DataManager {
   void delete_on_locked(mpi::Rank worker, BufferState& b,
                         std::unique_lock<std::mutex>& lk);
 
+  /// Makes the head's host copy valid, coalescing concurrent refreshes of
+  /// the same buffer onto one retrieve (waiters park on b.cv). Enters and
+  /// leaves with `lk` held on b.lock; on return b.on_head is true. The
+  /// coalescing also guarantees nobody rewrites `host` while a borrowed
+  /// Submit payload of it is in flight.
+  void fetch_to_head_locked(BufferState& b, std::unique_lock<std::mutex>& lk);
+
+  /// Marks `host` as written since the last checkpoint.
+  void mark_dirty(const void* host);
+
   EventSystem& events_;
   const ClusterOptions opts_;
 
-  mutable std::mutex mutex_;  ///< guards the buffer map itself
+  mutable std::shared_mutex mutex_;  ///< guards the buffer map itself
   std::unordered_map<const void*, std::unique_ptr<BufferState>> buffers_;
+
+  mutable std::mutex dirty_mutex_;
+  std::unordered_set<const void*> dirty_;
+
+  /// Shared transfer pool for prepare_args fan-out — created with the
+  /// manager (once per launch, like the dispatch pool) so the
+  /// "threads_spawned is wave-count-independent" invariant holds
+  /// unconditionally; sized by ClusterOptions::transfer_threads.
+  std::unique_ptr<HelperPool> transfer_pool_;
+
   DataManagerStats stats_;
 };
 

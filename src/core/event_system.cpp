@@ -29,27 +29,34 @@ const char* to_string(EventKind k) {
 
 // --- WorkerMemory --------------------------------------------------------
 
-WorkerMemory::~WorkerMemory() {
-  std::lock_guard<std::mutex> lock(mutex_);
-  for (offload::TargetPtr p : live_) std::free(reinterpret_cast<void*>(p));
-}
-
 offload::TargetPtr WorkerMemory::alloc(std::size_t size) {
-  void* p = std::malloc(size == 0 ? 1 : size);
-  OMPC_CHECK_MSG(p != nullptr, "worker allocation of " << size << " B failed");
-  const auto tp = reinterpret_cast<offload::TargetPtr>(p);
+  const std::size_t n = size == 0 ? 1 : size;
+  std::shared_ptr<std::byte[]> mem(new std::byte[n]);
+  const auto tp = reinterpret_cast<offload::TargetPtr>(mem.get());
   std::lock_guard<std::mutex> lock(mutex_);
-  live_.insert(tp);
+  live_.emplace(tp, Block{std::move(mem), n});
   return tp;
 }
 
 void WorkerMemory::free(offload::TargetPtr ptr) {
-  {
-    std::lock_guard<std::mutex> lock(mutex_);
-    OMPC_CHECK_MSG(live_.erase(ptr) == 1,
-                   "worker double free of device ptr " << ptr);
-  }
-  std::free(reinterpret_cast<void*>(ptr));
+  // The map entry drops; the block itself lives on while any in-flight
+  // payload still shares it.
+  std::lock_guard<std::mutex> lock(mutex_);
+  OMPC_CHECK_MSG(live_.erase(ptr) == 1,
+                 "worker double free of device ptr " << ptr);
+}
+
+mpi::Payload WorkerMemory::share(offload::TargetPtr ptr,
+                                 std::size_t size) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  const auto it = live_.find(ptr);
+  OMPC_CHECK_MSG(it != live_.end(), "share of unknown device ptr " << ptr);
+  OMPC_CHECK_MSG(size <= it->second.size,
+                 "share of " << size << " B exceeds allocation of "
+                             << it->second.size << " B");
+  return mpi::Payload::share(
+      std::shared_ptr<const void>(it->second.mem, it->second.mem.get()),
+      reinterpret_cast<const void*>(ptr), size);
 }
 
 std::size_t WorkerMemory::live() const {
@@ -160,7 +167,7 @@ mpi::Tag EventSystem::allocate_tag() {
 }
 
 OriginEventPtr EventSystem::start(mpi::Rank dest, EventKind kind, Bytes header,
-                                  Bytes payload, mpi::Rank peer) {
+                                  mpi::Payload payload, mpi::Rank peer) {
   const mpi::Tag tag = allocate_tag();
   auto ev = std::make_shared<OriginEvent>(tag, kind, dest, peer);
   {
@@ -181,7 +188,7 @@ OriginEventPtr EventSystem::start(mpi::Rank dest, EventKind kind, Bytes header,
   // Eager payload first (Submit): it travels on the event's data comm with
   // the event tag; the destination's irecv will match it whenever it lands.
   if (!payload.empty())
-    data_comm_for(tag).isend_bytes(std::move(payload), dest, tag);
+    data_comm_for(tag).isend_payload(std::move(payload), dest, tag);
 
   EventAnnounce a;
   a.kind = kind;
@@ -225,7 +232,7 @@ OriginEventPtr EventSystem::start_retrieve(mpi::Rank dest,
 }
 
 Bytes EventSystem::run(mpi::Rank dest, EventKind kind, Bytes header,
-                       Bytes payload) {
+                       mpi::Payload payload) {
   return start(dest, kind, std::move(header), std::move(payload))->wait();
 }
 
@@ -467,18 +474,19 @@ bool EventSystem::progress(RemoteEvent& ev) {
     }
     case EventKind::Retrieve: {
       const auto h = header.get<RetrieveHeader>();
-      Bytes payload(h.size);
-      std::memcpy(payload.data(), reinterpret_cast<void*>(h.src), h.size);
-      data_comm_for(a.tag).isend_bytes(std::move(payload), a.origin, a.tag);
+      OMPC_CHECK(memory_ != nullptr);
+      // Zero-copy: the payload shares the device block (pinned even across
+      // a later Delete); the head's posted irecv is the only copy.
+      data_comm_for(a.tag).isend_payload(memory_->share(h.src, h.size),
+                                         a.origin, a.tag);
       send_completion(a.origin, a.tag, {});
       return true;
     }
     case EventKind::ExchangeSend: {
       const auto h = header.get<ExchangeSendHeader>();
-      Bytes payload(h.size);
-      std::memcpy(payload.data(), reinterpret_cast<void*>(h.src), h.size);
-      data_comm_for(h.data_tag).isend_bytes(std::move(payload), h.peer,
-                                            h.data_tag);
+      OMPC_CHECK(memory_ != nullptr);
+      data_comm_for(h.data_tag).isend_payload(memory_->share(h.src, h.size),
+                                             h.peer, h.data_tag);
       send_completion(a.origin, a.tag, {});
       return true;
     }

@@ -33,17 +33,29 @@ namespace ompc::core {
 /// Rank-local "device memory": the worker-side heap that Alloc/Delete
 /// events manage. Head code never dereferences these addresses (distinct
 /// address spaces by discipline, DESIGN.md decision 1).
+///
+/// Blocks are shared-ownership so outbound payloads (Retrieve/ExchangeSend)
+/// can send device memory zero-copy: share() pins the block for the life of
+/// the in-flight message, surviving a concurrent Delete event and even this
+/// rank dying with the payload still on the simulated wire.
 class WorkerMemory {
  public:
-  ~WorkerMemory();
-
   offload::TargetPtr alloc(std::size_t size);
   void free(offload::TargetPtr ptr);
+
+  /// Zero-copy read view of the allocation starting at `ptr` (must be a
+  /// block base), pinned for the payload's lifetime.
+  mpi::Payload share(offload::TargetPtr ptr, std::size_t size) const;
+
   std::size_t live() const;
 
  private:
+  struct Block {
+    std::shared_ptr<std::byte[]> mem;
+    std::size_t size = 0;
+  };
   mutable std::mutex mutex_;
-  std::unordered_set<offload::TargetPtr> live_;
+  std::unordered_map<offload::TargetPtr, Block> live_;
 };
 
 /// Origin half of an event (the E_O of Figure 3). wait() blocks the origin
@@ -117,8 +129,11 @@ class EventSystem {
   /// Submit) and returns the waitable origin half. `peer` marks the other
   /// half of a worker->worker exchange (failure of either rank fails the
   /// event). Throws WorkerDiedError when dest/peer is already known dead.
+  /// A borrowed payload is safe here: the destination completes the event
+  /// only after delivery, and the origin blocks in wait() until then.
   OriginEventPtr start(mpi::Rank dest, EventKind kind, Bytes header,
-                       Bytes payload = {}, mpi::Rank peer = mpi::kAnySource);
+                       mpi::Payload payload = {},
+                       mpi::Rank peer = mpi::kAnySource);
 
   /// Retrieve: posts the inbound irecv into `dst_host` *before* notifying
   /// the worker, so the payload can never race the receive.
@@ -126,7 +141,8 @@ class EventSystem {
                                 void* dst_host, std::size_t size);
 
   /// start + wait.
-  Bytes run(mpi::Rank dest, EventKind kind, Bytes header, Bytes payload = {});
+  Bytes run(mpi::Rank dest, EventKind kind, Bytes header,
+            mpi::Payload payload = {});
 
   /// Fresh event tag (unique per origin rank).
   mpi::Tag allocate_tag();

@@ -1,0 +1,54 @@
+#include "core/helper_pool.hpp"
+
+#include <algorithm>
+
+#include "common/check.hpp"
+#include "common/log.hpp"
+
+namespace ompc::core {
+
+HelperPool::HelperPool(int threads, std::string label_prefix) {
+  const int n = std::max(1, threads);
+  threads_.reserve(static_cast<std::size_t>(n));
+  for (int i = 0; i < n; ++i) {
+    threads_.emplace_back([this, label = label_prefix + std::to_string(i)] {
+      log::set_thread_label(label);
+      worker_main();
+    });
+  }
+}
+
+HelperPool::~HelperPool() {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    stop_ = true;
+  }
+  cv_.notify_all();
+  for (auto& t : threads_) t.join();
+}
+
+void HelperPool::submit(std::function<void()> job) {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    OMPC_CHECK_MSG(!stop_, "submit on a stopped helper pool");
+    queue_.push_back(std::move(job));
+  }
+  cv_.notify_one();
+}
+
+void HelperPool::worker_main() {
+  for (;;) {
+    std::function<void()> job;
+    {
+      std::unique_lock<std::mutex> lock(mutex_);
+      cv_.wait(lock, [this] { return stop_ || !queue_.empty(); });
+      if (queue_.empty()) return;  // stop and drained
+      job = std::move(queue_.front());
+      queue_.pop_front();
+    }
+    job();
+    jobs_run_.fetch_add(1, std::memory_order_relaxed);
+  }
+}
+
+}  // namespace ompc::core

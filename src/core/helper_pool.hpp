@@ -1,0 +1,63 @@
+// Persistent helper pool for the head node's hot path.
+//
+// The dispatch engine used to create and join a pool of threads on *every
+// wave* (mirroring one LLVM hidden-helper thread per in-flight target
+// region), and the Data Manager spawned one std::thread per extra buffer of
+// every multi-input task. Per-wave thread churn is exactly the head-side
+// overhead the paper's Fig. 7a isolates, so both now submit jobs to pools
+// that live for the whole launch: one dispatch pool (its size still bounds
+// in-flight target regions, preserving the HelperThreads/TwoStep semantics)
+// and one transfer pool shared by all concurrent prepare_args calls.
+//
+// Jobs must not throw — callers capture exceptions into their own state
+// (the wave's first_error, a fetch group's error slots).
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+namespace ompc::core {
+
+class HelperPool {
+ public:
+  /// Spawns max(1, threads) workers once; they idle between jobs and are
+  /// joined by the destructor (which drains any queued jobs first).
+  /// `label_prefix` names the threads for log output ("hh0", "xfer3", ...).
+  HelperPool(int threads, std::string label_prefix);
+  ~HelperPool();
+
+  HelperPool(const HelperPool&) = delete;
+  HelperPool& operator=(const HelperPool&) = delete;
+
+  /// Enqueues a job on the pool. Jobs run in FIFO order across up to
+  /// num_threads() workers and must not throw.
+  void submit(std::function<void()> job);
+
+  int num_threads() const noexcept {
+    return static_cast<int>(threads_.size());
+  }
+
+  /// Jobs executed since construction (test/bench hook).
+  std::int64_t jobs_run() const noexcept {
+    return jobs_run_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  void worker_main();
+
+  std::mutex mutex_;
+  std::condition_variable cv_;
+  std::deque<std::function<void()>> queue_;
+  bool stop_ = false;
+  std::atomic<std::int64_t> jobs_run_{0};
+  std::vector<std::thread> threads_;
+};
+
+}  // namespace ompc::core

@@ -54,6 +54,11 @@ struct ClusterOptions {
   /// Per-worker threads for second-level parallelism inside kernels.
   int worker_threads = 2;
 
+  /// Threads in the head's persistent transfer pool (prepare_args fans the
+  /// buffer fetches of multi-input tasks out to it, replacing per-buffer
+  /// thread spawns). 0 = auto: 16 + 3 * num_workers.
+  int transfer_threads = 0;
+
   /// Number of data communicators; events are striped over them by tag
   /// (the paper's VCI usage, §4.2/§6.1).
   int vci = 4;
@@ -95,6 +100,11 @@ struct ClusterOptions {
 
   /// Ranks in the universe (head + workers).
   int ranks() const noexcept { return num_workers + 1; }
+
+  /// Cluster-scaled head pool size: enough in-flight jobs to saturate
+  /// every worker's executor and transfer pipeline. Used for the TwoStep
+  /// dispatch pool and as the transfer-pool default.
+  int cluster_pool_threads() const noexcept { return 16 + 3 * num_workers; }
 };
 
 }  // namespace ompc::core

@@ -12,6 +12,7 @@
 #include <cstdint>
 
 #include "common/serialize.hpp"
+#include "minimpi/payload.hpp"
 #include "minimpi/types.hpp"
 #include "offload/kernel_registry.hpp"
 #include "offload/plugin.hpp"
@@ -39,8 +40,10 @@ const char* to_string(EventKind k);
 inline constexpr mpi::Tag kTagNewEvent = 1;
 inline constexpr mpi::Tag kTagComplete = 2;
 
-/// First tag usable by events (small tags are control tags).
-inline constexpr mpi::Tag kFirstEventTag = 16;
+/// First tag usable by events (small tags are control tags). Anchored to
+/// the minimpi data-tag boundary so payload-copy accounting sees every
+/// event data message and none of the control traffic.
+inline constexpr mpi::Tag kFirstEventTag = mpi::kFirstDataTag;
 
 // --- event headers (serialized into the new-event notification) ---------
 

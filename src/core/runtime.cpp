@@ -1,8 +1,8 @@
 #include "core/runtime.hpp"
 
 #include <algorithm>
+#include <chrono>
 #include <condition_variable>
-#include <deque>
 #include <thread>
 
 #include "common/check.hpp"
@@ -18,6 +18,16 @@ Runtime::Runtime(const ClusterOptions& opts, EventSystem& events)
   // it, which is how survivors are re-ranked after a failure.
   live_workers_.reserve(static_cast<std::size_t>(opts.num_workers));
   for (int w = 0; w < opts.num_workers; ++w) live_workers_.push_back(w + 1);
+
+  // HelperThreads: the LLVM bound — in-flight regions <= head threads.
+  // TwoStep: the §7 fix decouples in-flight regions from head cores; its
+  // pool scales with the *cluster* (enough to saturate every worker's
+  // executor and transfer pipeline) instead of the head's thread count.
+  const int helpers = std::max(1, opts_.async_mode == AsyncMode::HelperThreads
+                                      ? opts_.helper_threads
+                                      : opts_.cluster_pool_threads());
+  helpers_ = std::make_unique<HelperPool>(helpers, "hh");
+  stats_.threads_spawned += helpers_->num_threads();
 }
 
 Runtime::~Runtime() = default;
@@ -102,6 +112,10 @@ void Runtime::execute_task(const ClusterTask& t, int proc) {
       return;
     case TaskType::Host:
       t.host_fn();
+      // A host task's out/inout deps were written in place on the head;
+      // without this the incremental checkpointer would reuse a stale
+      // entry for them and recovery would roll the write back silently.
+      dm_.after_host_write(t.deps);
       return;
     case TaskType::Target: {
       const mpi::Rank worker = rank_of_proc(proc);
@@ -125,76 +139,74 @@ void Runtime::dispatch(const ClusterGraph& graph, const ScheduleResult& sched) {
   const std::size_t n = graph.size();
   if (n == 0) return;
 
-  // Dependence-driven execution with a bounded helper pool. Each helper
-  // models one LLVM hidden-helper thread: it stays blocked inside
-  // execute_task() for the whole life of an in-flight target region, so
-  // `helpers` bounds in-flight regions exactly as §7 describes.
-  std::vector<int> indegree(n, 0);
+  // Dependence-driven execution on the persistent helper pool: each ready
+  // task becomes one job, and a job stays blocked inside execute_task() for
+  // the whole life of its in-flight target region — so the pool size bounds
+  // in-flight regions exactly as §7 describes, without creating or joining
+  // a single thread per wave. The control thread only seeds the sources and
+  // waits; completed jobs schedule their newly-ready successors themselves.
+  struct WaveState {
+    std::mutex mutex;
+    std::condition_variable cv;
+    std::vector<int> indegree;
+    std::size_t done = 0;      ///< tasks executed successfully
+    std::size_t inflight = 0;  ///< jobs queued or executing
+    std::exception_ptr first_error;
+  } ws;
+  ws.indegree.resize(n, 0);
   for (const ClusterTask& t : graph.tasks())
-    indegree[static_cast<std::size_t>(t.id)] =
+    ws.indegree[static_cast<std::size_t>(t.id)] =
         static_cast<int>(t.preds.size());
 
-  std::mutex mutex;
-  std::condition_variable cv;
-  std::deque<int> ready;
-  std::size_t done = 0;
-  std::exception_ptr first_error;
-
-  for (const ClusterTask& t : graph.tasks()) {
-    if (t.preds.empty()) ready.push_back(t.id);
-  }
-
-  // HelperThreads: the LLVM bound — in-flight regions <= head threads.
-  // TwoStep: the §7 fix decouples in-flight regions from head cores; its
-  // pool scales with the *cluster* (enough to saturate every worker's
-  // executor and transfer pipeline) instead of the head's thread count.
-  int helpers = opts_.async_mode == AsyncMode::HelperThreads
-                    ? opts_.helper_threads
-                    : 16 + 3 * opts_.num_workers;
-  helpers = std::max(1, std::min<int>(helpers, static_cast<int>(n)));
-
-  auto helper_loop = [&] {
-    std::unique_lock<std::mutex> lock(mutex);
-    for (;;) {
-      cv.wait(lock, [&] {
-        return !ready.empty() || done == n || first_error != nullptr;
-      });
-      if ((done == n && ready.empty()) || first_error != nullptr) return;
-      if (ready.empty()) continue;
-      const int id = ready.front();
-      ready.pop_front();
-      lock.unlock();
-
+  // All captured state outlives the jobs: dispatch() returns only once
+  // inflight == 0, i.e. every submitted job has run (or skipped).
+  std::function<void(int)> submit_task = [&](int id) {
+    helpers_->submit([this, &graph, &sched, &ws, &submit_task, id] {
       const ClusterTask& t = graph.task(id);
-      try {
-        execute_task(t, sched.processor[static_cast<std::size_t>(id)]);
-      } catch (...) {
-        lock.lock();
-        if (!first_error) first_error = std::current_exception();
-        cv.notify_all();
-        return;
+      bool skipped;
+      {
+        std::lock_guard<std::mutex> lock(ws.mutex);
+        skipped = ws.first_error != nullptr;  // wave is unwinding
       }
-
-      lock.lock();
-      ++done;
-      for (int s : t.succs) {
-        if (--indegree[static_cast<std::size_t>(s)] == 0) ready.push_back(s);
+      std::exception_ptr error;
+      if (!skipped) {
+        try {
+          execute_task(t, sched.processor[static_cast<std::size_t>(id)]);
+        } catch (...) {
+          error = std::current_exception();
+        }
       }
-      cv.notify_all();
-    }
+      std::lock_guard<std::mutex> lock(ws.mutex);
+      --ws.inflight;
+      if (error && !ws.first_error) ws.first_error = error;
+      if (!skipped && !error) {
+        ++ws.done;
+        for (int s : t.succs) {
+          if (--ws.indegree[static_cast<std::size_t>(s)] == 0) {
+            ++ws.inflight;
+            submit_task(s);
+          }
+        }
+      }
+      ws.cv.notify_all();
+    });
   };
 
-  std::vector<std::thread> pool;
-  pool.reserve(static_cast<std::size_t>(helpers));
-  for (int i = 0; i < helpers; ++i) {
-    pool.emplace_back([&, i] {
-      log::set_thread_label("hh" + std::to_string(i));
-      helper_loop();
-    });
+  {
+    std::lock_guard<std::mutex> lock(ws.mutex);
+    for (const ClusterTask& t : graph.tasks()) {
+      if (t.preds.empty()) {
+        ++ws.inflight;
+        submit_task(t.id);
+      }
+    }
   }
-  for (auto& th : pool) th.join();
-  if (first_error) std::rethrow_exception(first_error);
-  OMPC_CHECK_MSG(done == n, "dispatch finished with unexecuted tasks");
+  std::unique_lock<std::mutex> lock(ws.mutex);
+  ws.cv.wait(lock, [&ws, n] {
+    return ws.inflight == 0 && (ws.done == n || ws.first_error != nullptr);
+  });
+  if (ws.first_error) std::rethrow_exception(ws.first_error);
+  OMPC_CHECK_MSG(ws.done == n, "dispatch finished with unexecuted tasks");
 }
 
 void Runtime::run_wave(const ClusterGraph& graph) {
@@ -383,6 +395,7 @@ void Runtime::wait_all() {
       const CheckpointStats& cs = ckpt_.stats();
       stats_.checkpoints = cs.captures;
       stats_.checkpoint_bytes = cs.bytes_captured;
+      stats_.checkpoint_dirty_bytes = cs.dirty_bytes;
       stats_.checkpoint_ns = cs.capture_ns;
     }
     // Log the wave for replay (moved, not copied — it is executed from the
@@ -404,6 +417,10 @@ RuntimeStats launch(const ClusterOptions& opts,
                     const std::function<void(Runtime&)>& head_main) {
   const Stopwatch wall;
   RuntimeStats stats;
+
+  // Data-plane copy accounting is process-wide (workers share the process
+  // in this simulated cluster); report this launch's delta.
+  const std::int64_t payload_copies_before = mpi::payload_copies();
 
   const bool hb_on = opts.heartbeat_period_ms > 0;
 
@@ -439,6 +456,8 @@ RuntimeStats launch(const ClusterOptions& opts,
       std::unique_ptr<HeartbeatRing> ring;
       std::thread monitor;
       std::atomic<bool> monitor_stop{false};
+      std::mutex monitor_mutex;
+      std::condition_variable monitor_cv;
       if (hb_on) {
         mpi::Comm hb = ctx.comm(hb_comm_index);
         ring = std::make_unique<HeartbeatRing>(
@@ -463,7 +482,18 @@ RuntimeStats launch(const ClusterOptions& opts,
                 if (hb.universe().is_dead(r)) rt.report_worker_failure(r);
               }
             }
-            precise_sleep_ns(opts.heartbeat_period_ms * 1'000'000);
+            // Drain with a short bounded wait, not a full heartbeat period:
+            // a report now reaches recovery within ~1 ms of arriving
+            // instead of adding up to heartbeat_period_ms of detection
+            // latency on top of the ring timeout. The cv (paired with the
+            // shutdown path, which notifies under monitor_mutex) lets stop
+            // take effect immediately instead of after the timeout.
+            std::unique_lock<std::mutex> lock(monitor_mutex);
+            monitor_cv.wait_for(lock, std::chrono::milliseconds(1),
+                                [&monitor_stop] {
+                                  return monitor_stop.load(
+                                      std::memory_order_acquire);
+                                });
           }
         });
       }
@@ -498,7 +528,11 @@ RuntimeStats launch(const ClusterOptions& opts,
       // polling liveness instead of blocking on the ack.)
       if (ring) ring->stop();
       if (monitor.joinable()) {
-        monitor_stop.store(true, std::memory_order_release);
+        {
+          std::lock_guard<std::mutex> lock(monitor_mutex);
+          monitor_stop.store(true, std::memory_order_release);
+        }
+        monitor_cv.notify_all();
         monitor.join();
       }
       events.shutdown_cluster();
@@ -515,6 +549,7 @@ RuntimeStats launch(const ClusterOptions& opts,
       stats.makespan_estimate_s = rs.makespan_estimate_s;
       stats.checkpoints = rs.checkpoints;
       stats.checkpoint_bytes = rs.checkpoint_bytes;
+      stats.checkpoint_dirty_bytes = rs.checkpoint_dirty_bytes;
       stats.checkpoint_ns = rs.checkpoint_ns;
       stats.recoveries = rs.recoveries;
       stats.workers_lost = rs.workers_lost;
@@ -527,6 +562,7 @@ RuntimeStats launch(const ClusterOptions& opts,
       stats.retrieves = ds.retrieves.load();
       stats.exchanges = ds.exchanges.load();
       stats.bytes_moved = ds.bytes_moved.load();
+      stats.threads_spawned = rs.threads_spawned + ds.threads_spawned.load();
     } else {
       // --- worker node ---
       WorkerMemory memory;
@@ -549,6 +585,7 @@ RuntimeStats launch(const ClusterOptions& opts,
   });
 
   stats.messages_sent = universe.messages_sent();
+  stats.payload_copies = mpi::payload_copies() - payload_copies_before;
   stats.wall_ns = wall.elapsed_ns();
   return stats;
 }

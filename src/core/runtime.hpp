@@ -29,6 +29,7 @@
 #include "core/fault.hpp"
 #include "core/graph.hpp"
 #include "core/heft.hpp"
+#include "core/helper_pool.hpp"
 #include "core/options.hpp"
 
 namespace ompc::core {
@@ -56,13 +57,21 @@ struct RuntimeStats {
 
   // Fault tolerance (§5): checkpoint cost and recovery work.
   std::int64_t checkpoints = 0;       ///< wave-boundary snapshots taken
-  std::int64_t checkpoint_bytes = 0;  ///< cumulative snapshot volume
+  std::int64_t checkpoint_bytes = 0;  ///< cumulative logical snapshot volume
+  std::int64_t checkpoint_dirty_bytes = 0;  ///< bytes actually retrieved +
+                                            ///< copied (the dirty subset)
   std::int64_t checkpoint_ns = 0;     ///< cumulative capture wall time
   std::int64_t recoveries = 0;        ///< rollback + re-execution rounds
   std::int64_t workers_lost = 0;      ///< ranks declared dead and dropped
   std::int64_t buffers_lost = 0;      ///< sole-copy buffers restored
   std::int64_t replayed_tasks = 0;    ///< tasks re-executed after rollback
   std::int64_t recovery_ns = 0;       ///< rollback + replay wall time
+
+  // Hot-path counters (bench/micro_hotpath asserts these, not eyeballs).
+  std::int64_t threads_spawned = 0;  ///< head-side pool threads created —
+                                     ///< once per launch, 0 per steady wave
+  std::int64_t payload_copies = 0;   ///< data-plane payload byte-copies
+                                     ///< across the whole cluster
 };
 
 /// Builder for a target region's positional arguments: device buffers
@@ -175,6 +184,12 @@ class Runtime {
   const ClusterOptions opts_;
   EventSystem& events_;
   DataManager dm_;
+  /// Persistent dispatch pool: created once per launch, reused by every
+  /// wave and recovery replay. Its size is the in-flight target-region
+  /// bound (one blocked job per region, like an LLVM hidden-helper
+  /// thread), so HelperThreads/TwoStep semantics are unchanged — only the
+  /// per-wave create/join churn is gone.
+  std::unique_ptr<HelperPool> helpers_;
   ClusterGraph graph_;
   ScheduleResult last_;
   RuntimeStats stats_;

@@ -33,7 +33,7 @@ Comm Comm::dup() const {
   return Comm(universe_, ctx, rank_);
 }
 
-Request Comm::isend_bytes(Bytes payload, Rank dst, Tag tag) const {
+Request Comm::isend_payload(Payload payload, Rank dst, Tag tag) const {
   check_user_tag(tag);
   Envelope env;
   env.src = rank_;
@@ -43,17 +43,24 @@ Request Comm::isend_bytes(Bytes payload, Rank dst, Tag tag) const {
   env.payload = std::move(payload);
   universe_->post(std::move(env));
 
-  // Eager protocol: the payload now lives on the wire, so the send request
-  // is complete at once (buffered-send semantics).
+  // The payload now lives on the wire, so the send request is complete at
+  // once. Owned payloads give buffered-send semantics; borrowed payloads
+  // require the caller to keep the memory valid until delivery (see
+  // payload.hpp for the contract).
   auto state = std::make_shared<detail::RequestState>();
   state->complete(Status{rank_, tag, 0});
   return Request(std::move(state));
 }
 
+Request Comm::isend_bytes(Bytes payload, Rank dst, Tag tag) const {
+  return isend_payload(Payload(std::move(payload)), dst, tag);
+}
+
 Request Comm::isend(const void* buf, std::size_t n, Rank dst, Tag tag) const {
-  Bytes payload(n);
-  if (n != 0) std::memcpy(payload.data(), buf, n);
-  return isend_bytes(std::move(payload), dst, tag);
+  // Staging copy into an owned payload; counted when it is data-plane
+  // traffic (zero-copy callers use isend_payload with borrow/share).
+  if (n != 0) note_payload_copy(tag, n);
+  return isend_payload(Payload::copy_of(buf, n), dst, tag);
 }
 
 void Comm::send(const void* buf, std::size_t n, Rank dst, Tag tag) const {
@@ -139,8 +146,7 @@ void Comm::bcast(void* buf, std::size_t n, Rank root) const {
     env.dst = child;
     env.tag = kBcast;
     env.context = context_;
-    env.payload.resize(n);
-    if (n != 0) std::memcpy(env.payload.data(), buf, n);
+    env.payload = Payload::copy_of(buf, n);
     universe_->post(std::move(env));
   }
 }
@@ -166,7 +172,7 @@ std::vector<Bytes> Comm::gather_bytes(std::span<const std::byte> mine,
     env.dst = root;
     env.tag = kGather;
     env.context = context_;
-    env.payload.assign(mine.begin(), mine.end());
+    env.payload = Payload::copy_of(mine.data(), mine.size());
     universe_->post(std::move(env));
   }
   return out;
@@ -188,8 +194,7 @@ std::uint64_t Comm::allreduce_sum(std::uint64_t value) const {
     env.dst = 0;
     env.tag = kReduce;
     env.context = context_;
-    env.payload.resize(sizeof value);
-    std::memcpy(env.payload.data(), &value, sizeof value);
+    env.payload = Payload::copy_of(&value, sizeof value);
     universe_->post(std::move(env));
   }
   bcast(&total, sizeof total, 0);

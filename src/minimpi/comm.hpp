@@ -12,6 +12,7 @@
 #include <span>
 
 #include "common/serialize.hpp"
+#include "minimpi/payload.hpp"
 #include "minimpi/request.hpp"
 #include "minimpi/types.hpp"
 
@@ -40,6 +41,9 @@ class Comm {
   Request isend(const void* buf, std::size_t n, Rank dst, Tag tag) const;
   /// Zero-copy variant: the payload is moved onto the wire.
   Request isend_bytes(Bytes payload, Rank dst, Tag tag) const;
+  /// Fully general variant: owned, borrowed or shared payloads (see
+  /// payload.hpp for the lifetime contracts of the zero-copy modes).
+  Request isend_payload(Payload payload, Rank dst, Tag tag) const;
 
   Status recv(void* buf, std::size_t capacity, Rank src, Tag tag) const;
   Request irecv(void* buf, std::size_t capacity, Rank src, Tag tag) const;

@@ -12,16 +12,18 @@ Status status_of(const Envelope& env) {
   return Status{env.src, env.tag, env.payload.size()};
 }
 
-/// Copies a matched payload into the receive buffer. Truncation is a
-/// protocol bug in this codebase (buffers are always sized by the sender's
-/// header), so it fails fast rather than emulating MPI_ERR_TRUNCATE.
+/// Copies a matched payload into the receive buffer — the single delivery
+/// copy every message pays (zero-copy payloads pay no other). Truncation is
+/// a protocol bug in this codebase (buffers are always sized by the
+/// sender's header), so it fails fast rather than emulating
+/// MPI_ERR_TRUNCATE.
 void fill(detail::RequestState& slot, const Envelope& env) {
   OMPC_CHECK_MSG(env.payload.size() <= slot.capacity,
                  "receive truncation: payload " << env.payload.size()
                                                 << " > capacity "
                                                 << slot.capacity);
-  if (!env.payload.empty())
-    std::memcpy(slot.buffer, env.payload.data(), env.payload.size());
+  env.payload.copy_to(slot.buffer);
+  if (!env.payload.empty()) note_payload_copy(env.tag, env.payload.size());
 }
 
 }  // namespace

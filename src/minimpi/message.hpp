@@ -4,20 +4,22 @@
 #include <cstdint>
 
 #include "common/serialize.hpp"
+#include "minimpi/payload.hpp"
 #include "minimpi/types.hpp"
 
 namespace ompc::mpi {
 
-/// A message in flight: envelope metadata plus an owned payload copy.
-/// Payloads are copied on send (eager protocol) so the sender's buffer is
-/// immediately reusable, matching buffered-send semantics.
+/// A message in flight: envelope metadata plus its payload. Owned payloads
+/// give buffered-send semantics (sender's buffer immediately reusable);
+/// borrowed/shared payloads are the zero-copy data plane — see payload.hpp
+/// for the lifetime contracts.
 struct Envelope {
   Rank src = 0;
   Rank dst = 0;
   Tag tag = 0;
   ContextId context = 0;
   int channel = 0;      ///< Link channel (context striped over VCIs).
-  Bytes payload;
+  Payload payload;
 };
 
 }  // namespace ompc::mpi

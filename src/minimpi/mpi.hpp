@@ -4,6 +4,7 @@
 #include "minimpi/comm.hpp"      // IWYU pragma: export
 #include "minimpi/mailbox.hpp"   // IWYU pragma: export
 #include "minimpi/message.hpp"   // IWYU pragma: export
+#include "minimpi/payload.hpp"   // IWYU pragma: export
 #include "minimpi/network.hpp"   // IWYU pragma: export
 #include "minimpi/request.hpp"   // IWYU pragma: export
 #include "minimpi/types.hpp"     // IWYU pragma: export

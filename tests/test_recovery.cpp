@@ -18,6 +18,7 @@
 namespace ompc {
 namespace {
 
+using core::AsyncMode;
 using core::ClusterOptions;
 using core::RecoveryError;
 using taskbench::expected_checksum;
@@ -169,6 +170,38 @@ TEST(Recovery, CascadingFailureWithDeadRingSuccessorStillRecovers) {
   EXPECT_EQ(r.checksum, expected_checksum(spec));
   EXPECT_GE(r.stats.recoveries, 2);
   EXPECT_EQ(r.stats.workers_lost, 2);
+}
+
+TEST(Recovery, TwoStepDispatchKilledWorkerMidWaveStillRecovers) {
+  // ROADMAP "TwoStep × recovery" gap: under AsyncMode::TwoStep the
+  // in-flight pool scales with the cluster, widening the abort window when
+  // a worker dies mid-wave — many more helper jobs unwind with
+  // WorkerDiedError at once. Recovery must still converge to the
+  // sequential oracle's checksums.
+  const TaskBenchSpec spec = recovery_spec(Pattern::Stencil1D);
+  ClusterOptions opts = recovery_opts(3);
+  opts.async_mode = AsyncMode::TwoStep;
+  opts.kills.push_back({2, 30'000'000});
+
+  const auto r = run_ompc(spec, opts);
+  EXPECT_EQ(r.checksum, expected_checksum(spec));
+  EXPECT_GE(r.stats.recoveries, 1);
+  EXPECT_EQ(r.stats.workers_lost, 1);
+  EXPECT_GE(r.stats.replayed_tasks, 1);
+}
+
+TEST(Recovery, TwoStepWideTrivialWaveRecoversAcrossLargeInFlightPool) {
+  // Wide independent wave (width 16 over 3 workers) so the TwoStep pool
+  // genuinely holds many regions in flight at the moment of death.
+  TaskBenchSpec spec = recovery_spec(Pattern::Trivial);
+  spec.width = 16;
+  ClusterOptions opts = recovery_opts(3);
+  opts.async_mode = AsyncMode::TwoStep;
+  opts.kills.push_back({1, 30'000'000});
+
+  const auto r = run_ompc(spec, opts);
+  EXPECT_EQ(r.checksum, expected_checksum(spec));
+  EXPECT_GE(r.stats.recoveries, 1);
 }
 
 TEST(Recovery, FailureFreeRunWithFaultToleranceOnIsUnaffected) {
