@@ -15,86 +15,8 @@
 #include "bench_util.hpp"
 #include "taskbench/kernel.hpp"
 
-namespace {
-
 using namespace ompc;
 using namespace ompc::taskbench;
-
-/// Same point kernel as the OMPC runner (buffers[0] = output, buffers[1..]
-/// = inputs), registered under a bench-local id.
-const offload::KernelId kPoint =
-    offload::KernelRegistry::instance().register_kernel(
-        "ablation_recovery_point", [](offload::KernelContext& ctx) {
-          auto r = ctx.scalars();
-          const int t = r.get<int>();
-          const int i = r.get<int>();
-          const auto mode = r.get<KernelMode>();
-          const auto iterations = r.get<std::int64_t>();
-          const auto out_bytes = r.get<std::uint64_t>();
-          std::vector<std::uint64_t> ins;
-          ins.reserve(ctx.num_buffers() - 1);
-          for (std::size_t b = 1; b < ctx.num_buffers(); ++b)
-            ins.push_back(read_digest(
-                std::span<const std::byte>(ctx.buffer<std::byte>(b), 8)));
-          TaskBenchSpec k;
-          k.mode = mode;
-          k.iterations = iterations;
-          k.output_bytes = out_bytes;
-          point_compute(k, t, i, ins,
-                        std::span<std::byte>(ctx.buffer<std::byte>(0),
-                                             out_bytes));
-        });
-
-/// Task Bench with one wait_all() per step — the wave-per-step execution
-/// the checkpoint period is defined over.
-RunResult run_ompc_stepwise(const TaskBenchSpec& spec,
-                            const core::ClusterOptions& opts) {
-  const auto w = static_cast<std::size_t>(spec.width);
-  const std::size_t out_bytes = std::max<std::size_t>(16, spec.output_bytes);
-  std::vector<std::vector<Bytes>> rows(2, std::vector<Bytes>(w));
-  for (auto& row : rows)
-    for (auto& b : row) b.assign(out_bytes, std::byte{0});
-
-  RunResult result;
-  result.stats = core::launch(opts, [&](core::Runtime& rt) {
-    for (auto& row : rows)
-      for (auto& b : row) rt.enter_data(b.data(), b.size());
-    for (int t = 0; t < spec.steps; ++t) {
-      auto& cur = rows[static_cast<std::size_t>(t % 2)];
-      auto& prev = rows[static_cast<std::size_t>((t + 1) % 2)];
-      for (int i = 0; i < spec.width; ++i) {
-        core::Args args;
-        omp::DepList deps;
-        Bytes& out = cur[static_cast<std::size_t>(i)];
-        args.buf(out.data());
-        deps.push_back(omp::inout(out.data()));
-        for (int j : dependencies(spec, t, i)) {
-          Bytes& in = prev[static_cast<std::size_t>(j)];
-          args.buf(in.data());
-          deps.push_back(omp::in(in.data()));
-        }
-        args.scalar(t).scalar(i).scalar(spec.mode).scalar(spec.iterations)
-            .scalar<std::uint64_t>(out_bytes);
-        rt.target(std::move(deps), kPoint, std::move(args),
-                  spec.task_seconds());
-      }
-      rt.wait_all();  // one wave per step
-    }
-    const auto final_row = static_cast<std::size_t>((spec.steps - 1) % 2);
-    for (std::size_t p = 0; p < 2; ++p)
-      for (auto& b : rows[p]) rt.exit_data(b.data(), p == final_row);
-  });
-
-  result.wall_s = ns_to_s(result.stats.wall_ns);
-  std::vector<std::uint64_t> digests;
-  digests.reserve(w);
-  for (const Bytes& b : rows[static_cast<std::size_t>((spec.steps - 1) % 2)])
-    digests.push_back(read_digest(b));
-  result.checksum = combine_digests(digests);
-  return result;
-}
-
-}  // namespace
 
 int main() {
   const mpi::NetworkModel net = bench::bench_network();
@@ -173,5 +95,57 @@ int main() {
   std::printf(
       "\n(expected: steady-state overhead falls and recovery work rises "
       "with the period — §5's checkpoint-interval trade-off)\n");
+
+  // --- TwoStep × recovery (ROADMAP): recovery *latency* by dispatch mode --
+  //
+  // Under AsyncMode::TwoStep the in-flight pool scales with the cluster, so
+  // a death mid-wave aborts far more helper jobs at once than under
+  // HelperThreads. The checkpoint-period table above prices the steady
+  // state; this one prices the recovery episode itself:
+  // detection -> rollback -> replay-complete (RuntimeStats::
+  // recovery_latency_ns), not just the wall-time delta.
+  std::printf("\n=== TwoStep × recovery: detection -> replay-complete ===\n");
+  Table lat({"async mode", "no-failure (s)", "1 kill (s)",
+             "recovery latency (ms)", "replayed tasks"});
+  for (const core::AsyncMode mode :
+       {core::AsyncMode::HelperThreads, core::AsyncMode::TwoStep}) {
+    core::ClusterOptions opts = base;
+    opts.checkpoint_period = 2;
+    opts.async_mode = mode;
+
+    const RunningStats healthy = bench::timed_runs(
+        spec, [&] { return run_ompc_stepwise(spec, opts); });
+
+    core::ClusterOptions kopts = opts;
+    kopts.kills.push_back({2, kill_at_ns});
+    RunningStats killed;
+    RunningStats latency_ms;
+    std::int64_t replayed_tasks = 0;
+    const std::uint64_t expect = expected_checksum(spec);
+    for (int rep = 0; rep < bench::repetitions(); ++rep) {
+      const RunResult r = run_ompc_stepwise(spec, kopts);
+      if (r.checksum != expect) {
+        std::fprintf(stderr, "VALIDATION FAILED after recovery (%s)\n",
+                     mode == core::AsyncMode::TwoStep ? "TwoStep"
+                                                      : "HelperThreads");
+        return 1;
+      }
+      killed.add(r.wall_s);
+      latency_ms.add(ns_to_ms(r.stats.recovery_latency_ns));
+      replayed_tasks += r.stats.replayed_tasks;
+    }
+    lat.add_row({mode == core::AsyncMode::TwoStep ? "TwoStep"
+                                                  : "HelperThreads",
+                 bench::mean_pm_dev(healthy), bench::mean_pm_dev(killed),
+                 bench::mean_pm_dev(latency_ms, 1),
+                 Table::num(static_cast<double>(replayed_tasks) /
+                                bench::repetitions(),
+                            1)});
+  }
+  lat.print(std::cout);
+  std::printf(
+      "\n(recovery latency = first failure detection to replay complete; "
+      "TwoStep aborts a wider in-flight window but replays the same "
+      "logged waves)\n");
   return 0;
 }

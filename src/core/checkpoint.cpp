@@ -1,25 +1,250 @@
 #include "core/checkpoint.hpp"
 
+#include <algorithm>
 #include <cstring>
+#include <set>
 #include <unordered_map>
+#include <utility>
 
+#include "common/check.hpp"
 #include "common/time.hpp"
+#include "core/fault.hpp"
 
 namespace ompc::core {
 
-void CheckpointStore::capture(DataManager& dm, std::int64_t wave) {
+namespace {
+
+/// Head NIC cost of one snapshot-plane control message: the serialized
+/// header plus the EventAnnounce envelope (kind/tag/origin + blob length).
+/// What flows through the head in worker-local modes is exactly these.
+std::int64_t meta_bytes(std::size_t header_size) {
+  return static_cast<std::int64_t>(header_size) + 24;
+}
+
+}  // namespace
+
+mpi::Rank CheckpointStore::buddy_of(mpi::Rank owner,
+                                    std::span<const mpi::Rank> live) {
+  if (live.size() < 2) return -1;
+  const auto it = std::find(live.begin(), live.end(), owner);
+  if (it == live.end()) return -1;  // stale owner: no buddy, head fallback
+  const std::size_t idx = static_cast<std::size_t>(it - live.begin());
+  return live[(idx + 1) % live.size()];
+}
+
+bool CheckpointStore::restorable(const Entry& e) const {
+  if (e.data != nullptr) return true;
+  if (events_ == nullptr) return false;
+  if (e.owner.rank >= 0 && !events_->is_rank_gone(e.owner.rank)) return true;
+  if (e.buddy.rank >= 0 && !events_->is_rank_gone(e.buddy.rank)) return true;
+  return false;
+}
+
+std::size_t CheckpointStore::worker_resident_entries() const {
+  std::size_t n = 0;
+  for (const Entry& e : entries_) {
+    if (e.data == nullptr && e.owner.rank >= 0) ++n;
+  }
+  return n;
+}
+
+void CheckpointStore::drop_shadows(const std::vector<Shadow>& shadows) {
+  if (events_ == nullptr) return;
+  // Pipelined like the capture phases: start every drop, then wait — the
+  // commit pays max(latency) across ranks, not sum over O(dirty) shadows.
+  std::vector<OriginEventPtr> acks;
+  acks.reserve(shadows.size());
+  for (const Shadow& s : shadows) {
+    if (s.rank < 0 || events_->is_rank_gone(s.rank)) continue;
+    ArchiveWriter w;
+    w.put(SnapshotDropHeader{s.ptr});
+    stats_.head_bytes += meta_bytes(w.size());
+    try {
+      acks.push_back(events_->start(s.rank, EventKind::SnapshotDrop, w.take()));
+    } catch (const WorkerDiedError&) {
+      // The rank died under the drop; its heap dies with it.
+    }
+  }
+  for (const OriginEventPtr& ev : acks) {
+    try {
+      ev->wait();
+      ++stats_.snapshot_drops;
+    } catch (const WorkerDiedError&) {
+    }
+  }
+}
+
+void CheckpointStore::capture_on_head(DataManager& dm,
+                                      std::vector<Entry>& fresh,
+                                      const std::vector<std::size_t>& pending) {
+  // The freshest copies may live on workers; pull them home concurrently
+  // (the transfer-pool fan-out), then copy. Worker replicas stay valid — a
+  // checkpoint read must not perturb placement.
+  std::vector<const void*> hosts;
+  hosts.reserve(pending.size());
+  for (const std::size_t i : pending) hosts.push_back(fresh[i].host);
+  stats_.head_bytes += dm.refresh_head_many(hosts);
+  for (const std::size_t i : pending) {
+    Entry& e = fresh[i];
+    auto bytes = std::make_shared<Bytes>(e.size);
+    std::memcpy(bytes->data(), e.host, e.size);
+    e.data = std::move(bytes);
+    e.generation = generation_ + 1;
+  }
+}
+
+void CheckpointStore::capture_on_workers(
+    DataManager& dm, std::vector<Entry>& fresh,
+    const std::vector<std::size_t>& pending,
+    std::span<const mpi::Rank> live_workers) {
+  // A dirty buffer whose freshest copy sits on a worker is snapshotted in
+  // place: SnapshotSave makes a device-local shadow (rank-local memcpy,
+  // invisible to every NIC), and in Buddy mode the shadow is replicated to
+  // the owner's ring successor over the direct worker->worker Exchange
+  // path. The head only ships commands — O(metadata) per buffer. The three
+  // phases below pipeline every buffer's events so capture pays
+  // max(transfer), not sum.
+  struct Job {
+    std::size_t idx = 0;
+    mpi::Rank owner = -1;
+    mpi::Rank buddy = -1;
+    OriginEventPtr save_ev;
+    OriginEventPtr alloc_ev;
+    OriginEventPtr send_ev;
+    OriginEventPtr recv_ev;
+    offload::TargetPtr shadow = 0;
+    offload::TargetPtr replica = 0;
+  };
+  std::vector<Job> jobs;
+  std::vector<Shadow> created;  // parked in orphaned_ on abort
+  const auto settle = [](const OriginEventPtr& ev) {
+    if (ev == nullptr) return;
+    try {
+      ev->wait();
+    } catch (...) {
+      // Settling only: the primary error is already being propagated.
+    }
+  };
+  try {
+    // Phase A: command every save (and buddy allocation) up front.
+    for (const std::size_t i : pending) {
+      Entry& e = fresh[i];
+      e.generation = generation_ + 1;
+      const DataManager::Residency where = dm.residency(e.host);
+      if (where.on_head) {
+        // Freshest copy already lives on the head (host-task writes, fresh
+        // registrations): keep the bytes here — a local memcpy, no NIC.
+        auto bytes = std::make_shared<Bytes>(e.size);
+        std::memcpy(bytes->data(), e.host, e.size);
+        e.data = std::move(bytes);
+        continue;
+      }
+      OMPC_CHECK_MSG(where.owner >= 0,
+                     "checkpoint capture found buffer "
+                         << e.host << " with no valid location anywhere");
+      Job j;
+      j.idx = i;
+      j.owner = where.owner;
+      ArchiveWriter w;
+      w.put(SnapshotSaveHeader{where.owner_addr, e.size});
+      stats_.head_bytes += meta_bytes(w.size());
+      j.save_ev = events_->start(j.owner, EventKind::SnapshotSave, w.take());
+      if (locality_ == CheckpointLocality::Buddy) {
+        j.buddy = buddy_of(j.owner, live_workers);
+      }
+      // Track the job before any further start() can throw: the abort path
+      // below harvests the save's shadow address so it can be dropped.
+      jobs.push_back(std::move(j));
+      if (jobs.back().buddy >= 0) {
+        ArchiveWriter aw;
+        aw.put(AllocHeader{e.size});
+        stats_.head_bytes += meta_bytes(aw.size());
+        jobs.back().alloc_ev =
+            events_->start(jobs.back().buddy, EventKind::Alloc, aw.take());
+      }
+    }
+    // Phase B: collect shadow addresses, command the buddy replications.
+    for (Job& j : jobs) {
+      {
+        const Bytes& reply = j.save_ev->wait();
+        ArchiveReader r(reply);
+        j.shadow = r.get<offload::TargetPtr>();
+      }
+      created.push_back({j.owner, j.shadow});
+      ++stats_.snapshot_saves;
+      if (j.alloc_ev != nullptr) {
+        const Bytes& reply = j.alloc_ev->wait();
+        ArchiveReader r(reply);
+        j.replica = r.get<offload::TargetPtr>();
+        created.push_back({j.buddy, j.replica});
+        const Entry& e = fresh[j.idx];
+        const mpi::Tag data_tag = events_->allocate_tag();
+        ArchiveWriter rw;
+        rw.put(ExchangeRecvHeader{j.replica, e.size, j.owner, data_tag});
+        stats_.head_bytes += meta_bytes(rw.size());
+        j.recv_ev = events_->start(j.buddy, EventKind::ExchangeRecv,
+                                   rw.take(), {}, j.owner);
+        ArchiveWriter sw;
+        sw.put(ExchangeSendHeader{j.shadow, e.size, j.buddy, data_tag});
+        stats_.head_bytes += meta_bytes(sw.size());
+        j.send_ev = events_->start(j.owner, EventKind::ExchangeSend,
+                                   sw.take(), {}, j.buddy);
+      }
+    }
+    // Phase C: the replicas land; only now may entries reference them.
+    for (Job& j : jobs) {
+      if (j.send_ev != nullptr) j.send_ev->wait();
+      if (j.recv_ev != nullptr) j.recv_ev->wait();
+      Entry& e = fresh[j.idx];
+      e.owner = {j.owner, j.shadow};
+      if (j.replica != 0) {
+        e.buddy = {j.buddy, j.replica};
+        ++stats_.snapshot_replicas;
+      }
+    }
+  } catch (...) {
+    // Abort: settle every outstanding event (an in-flight exchange must not
+    // land in a block we later free), harvesting the addresses of shadows
+    // and replicas that did materialize, then park them all for the next
+    // quiescent drop. The previous generation is untouched.
+    for (const Job& j : jobs) {
+      if (j.save_ev != nullptr && j.shadow == 0) {
+        try {
+          ArchiveReader r(j.save_ev->wait());
+          created.push_back({j.owner, r.get<offload::TargetPtr>()});
+        } catch (...) {
+          // The owner died before saving: nothing to drop there.
+        }
+      }
+      if (j.alloc_ev != nullptr && j.replica == 0) {
+        try {
+          ArchiveReader r(j.alloc_ev->wait());
+          created.push_back({j.buddy, r.get<offload::TargetPtr>()});
+        } catch (...) {
+        }
+      }
+      settle(j.send_ev);
+      settle(j.recv_ev);
+    }
+    orphaned_.insert(orphaned_.end(), created.begin(), created.end());
+    throw;
+  }
+}
+
+void CheckpointStore::capture(DataManager& dm, std::int64_t wave,
+                              std::span<const mpi::Rank> live_workers) {
   const Stopwatch timer;
   // The dirty set is read, not consumed: it is cleared only after the new
-  // snapshot commits, so a worker dying mid-capture (the refresh_head
-  // retrieve throws) leaves both the PREVIOUS snapshot and the set of
-  // buffers that still need capturing intact for the retake at the next
-  // boundary.
+  // snapshot commits, so a worker dying mid-capture leaves both the
+  // PREVIOUS snapshot and the set of buffers that still need capturing
+  // intact for the retake at the next boundary.
   const auto dirty = dm.dirty_buffers();
   std::unordered_map<const void*, const Entry*> prev;
   prev.reserve(entries_.size());
   for (const Entry& e : entries_) prev.emplace(e.host, &e);
 
   std::vector<Entry> fresh;
+  std::vector<std::size_t> pending;  // fresh indices still needing capture
   std::int64_t logical = 0;
   std::int64_t copied = 0;
   std::int64_t reused = 0;
@@ -28,29 +253,50 @@ void CheckpointStore::capture(DataManager& dm, std::int64_t wave) {
     e.host = host;
     e.size = size;
     const auto it = prev.find(host);
+    // Unwritten since the last committed capture AND still resolvable from
+    // a live holder: keep the old entry by reference — no retrieve, no
+    // copy. An entry whose every holder died is re-captured from the
+    // current freshest copy even though the buffer is clean.
     const bool clean = it != prev.end() && it->second->size == size &&
-                       dirty.count(host) == 0;
+                       dirty.count(host) == 0 && restorable(*it->second);
     if (clean) {
-      // Unwritten since the last committed capture: the old entry's bytes
-      // still equal the buffer's logical content. Keep them by reference —
-      // no retrieve, no copy.
-      e.data = it->second->data;
+      e = *it->second;
       ++reused;
     } else {
-      // The freshest copy may live on a worker; pull it home. Worker
-      // replicas stay valid (a checkpoint read must not perturb placement).
-      dm.refresh_head(host);
-      auto bytes = std::make_shared<Bytes>(size);
-      std::memcpy(bytes->data(), host, size);
-      e.data = std::move(bytes);
+      pending.push_back(fresh.size());
       copied += static_cast<std::int64_t>(size);
     }
     logical += static_cast<std::int64_t>(size);
     fresh.push_back(std::move(e));
   });
+
+  if (locality_ == CheckpointLocality::Head || events_ == nullptr) {
+    capture_on_head(dm, fresh, pending);
+  } else {
+    capture_on_workers(dm, fresh, pending, live_workers);
+  }
+
+  // Commit: swap the generations, then free every shadow the new entry
+  // list no longer references (plus any parked orphans). All capture
+  // events have settled, so no in-flight exchange can touch these blocks.
+  std::set<std::pair<mpi::Rank, offload::TargetPtr>> kept;
+  for (const Entry& e : fresh) {
+    if (e.owner.rank >= 0) kept.emplace(e.owner.rank, e.owner.ptr);
+    if (e.buddy.rank >= 0) kept.emplace(e.buddy.rank, e.buddy.ptr);
+  }
+  std::vector<Shadow> stale;
+  stale.swap(orphaned_);
+  for (const Entry& e : entries_) {
+    if (e.owner.rank >= 0 && kept.count({e.owner.rank, e.owner.ptr}) == 0)
+      stale.push_back(e.owner);
+    if (e.buddy.rank >= 0 && kept.count({e.buddy.rank, e.buddy.ptr}) == 0)
+      stale.push_back(e.buddy);
+  }
   entries_ = std::move(fresh);
   wave_ = wave;
   have_ = true;
+  ++generation_;
+  drop_shadows(stale);
   dm.mark_all_clean();  // commit point: everything captured or reused
   ++stats_.captures;
   stats_.bytes_captured += logical;
@@ -60,10 +306,78 @@ void CheckpointStore::capture(DataManager& dm, std::int64_t wave) {
 }
 
 void CheckpointStore::restore(DataManager& dm) {
-  for (const Entry& e : entries_) {
-    dm.restore_buffer(e.host, e.size,
-                      std::span<const std::byte>(e.data->data(), e.size));
+  // Worker-resident fetches are pipelined like capture: start every
+  // SnapshotFetch (each lands in its own staging block), then wait and
+  // convert — recovery pays max(fetch) across holders, not sum, which is
+  // most of recovery_latency_ns on a big working set.
+  struct Fetch {
+    Entry* entry = nullptr;
+    std::shared_ptr<Bytes> staging;
+    OriginEventPtr ev;
+  };
+  std::vector<Fetch> fetches;
+  std::vector<Shadow> drops;
+  try {
+    for (Entry& e : entries_) {
+      if (e.data != nullptr) {
+        dm.restore_buffer(
+            e.host, e.size,
+            std::span<const std::byte>(e.data->data(), e.size));
+        continue;
+      }
+      // Worker-resident snapshot: resolve the freshest surviving holder.
+      const Shadow* holder = nullptr;
+      if (e.owner.rank >= 0 && !events_->is_rank_gone(e.owner.rank)) {
+        holder = &e.owner;
+      } else if (e.buddy.rank >= 0 && !events_->is_rank_gone(e.buddy.rank)) {
+        holder = &e.buddy;
+      }
+      if (holder == nullptr) {
+        throw RecoveryError(
+            "checkpoint snapshot lost: owner and buddy of a worker-local "
+            "snapshot died in the same checkpoint period");
+      }
+      // Stream the shadow to the head — where replay needs it — and keep
+      // the bytes: the entry becomes head-resident, so a later failure
+      // never chases shadows on ranks that died since this recovery.
+      Fetch f;
+      f.entry = &e;
+      f.staging = std::make_shared<Bytes>(e.size);
+      f.ev = events_->start_retrieve(holder->rank, holder->ptr,
+                                     f.staging->data(), e.size,
+                                     EventKind::SnapshotFetch);
+      fetches.push_back(std::move(f));
+    }
+    for (Fetch& f : fetches) {
+      f.ev->wait();
+      Entry& e = *f.entry;
+      dm.restore_buffer(
+          e.host, e.size,
+          std::span<const std::byte>(f.staging->data(), e.size));
+      if (e.owner.rank >= 0) drops.push_back(e.owner);
+      if (e.buddy.rank >= 0) drops.push_back(e.buddy);
+      e.owner = {};
+      e.buddy = {};
+      e.data = std::move(f.staging);
+    }
+  } catch (...) {
+    // Another failure interrupted the restore (or a snapshot is gone for
+    // good). Settle the outstanding fetches first — their posted irecvs
+    // point into the staging blocks about to unwind — then park the
+    // converted entries' now-stale shadows for the next quiescent drop.
+    for (Fetch& f : fetches) {
+      if (f.ev == nullptr) continue;
+      try {
+        f.ev->wait();  // also drains the posted payload irecv
+      } catch (...) {
+      }
+    }
+    orphaned_.insert(orphaned_.end(), drops.begin(), drops.end());
+    throw;
   }
+  drops.insert(drops.end(), orphaned_.begin(), orphaned_.end());
+  orphaned_.clear();
+  drop_shadows(drops);
   // Every checkpointed buffer now holds exactly its captured bytes, so
   // nothing is dirty relative to this snapshot; the replay re-marks what it
   // rewrites.

@@ -7,25 +7,42 @@
 // Data Manager's ownership map — IS the global state of the computation.
 //
 // capture() is *incremental*: the Data Manager's dirty set (buffers written
-// since the last committed capture — it already knows every writer through
-// after_write) selects what must be retrieved to the head and re-
-// snapshotted; clean buffers keep their previous entry by reference
-// (shared, immutable bytes), costing neither a retrieve nor a copy. On a
-// sparse-writer workload the per-boundary checkpoint cost shrinks from the
-// full working set to the written subset (the ROADMAP "incremental /
-// dirty-buffer checkpoints" item; bench/micro_hotpath measures it).
-// restore() plays the snapshot back through the Data Manager after a
-// failure: every buffer becomes "valid on head only" with its checkpointed
-// contents, from which the lost waves are re-executed on the surviving
-// workers.
+// since the last committed capture) selects what must be re-snapshotted;
+// clean buffers keep their previous entry by reference. Where the snapshot
+// bytes go is CheckpointLocality's choice:
+//
+//  - Head: every dirty buffer is retrieved to the head (fanned out across
+//    the transfer pool) and copied there — the PR 1/PR 3 baseline, whose
+//    cost scales with dirty bytes × head NIC bandwidth;
+//  - WorkerLocal: each worker snapshots its dirty buffers into device-local
+//    shadow blocks (SnapshotSave, a rank-local memcpy); the head keeps only
+//    metadata {owner, shadow address, generation} plus bytes for buffers
+//    whose freshest copy already lives on the head;
+//  - Buddy: WorkerLocal plus one replica on the owner's ring successor
+//    among the live workers, shipped worker->worker over the existing
+//    Exchange path — head traffic per boundary stays O(metadata) while
+//    recovery survives the snapshot owner's death.
+//
+// Capture commits in two phases: new-generation shadows are created while
+// the previous generation stays intact, so a worker dying mid-capture
+// leaves the old snapshot (and the dirty set) untouched; only after every
+// save/replica settles are the entries swapped and the stale shadows
+// dropped. restore() resolves each buffer from the freshest surviving
+// holder (owner, else buddy, else the head entry — else RecoveryError),
+// streams it to the head where replay re-distributes it, and converts the
+// entry to head-resident bytes so a later failure cannot chase shadows on
+// ranks that died since.
 #pragma once
 
 #include <cstdint>
 #include <memory>
+#include <span>
 #include <vector>
 
 #include "common/serialize.hpp"
 #include "core/data_manager.hpp"
+#include "core/event_system.hpp"
+#include "core/options.hpp"
 
 namespace ompc::core {
 
@@ -33,13 +50,29 @@ struct CheckpointStats {
   std::int64_t captures = 0;
   std::int64_t restores = 0;
   std::int64_t bytes_captured = 0;  ///< cumulative logical snapshot volume
-  std::int64_t dirty_bytes = 0;     ///< cumulative bytes actually copied
+  std::int64_t dirty_bytes = 0;     ///< cumulative bytes actually snapshotted
   std::int64_t entries_reused = 0;  ///< clean entries kept by reference
   std::int64_t capture_ns = 0;      ///< cumulative capture wall time
+  std::int64_t head_bytes = 0;      ///< capture bytes through the head NIC:
+                                    ///< retrieved payloads (Head mode) plus
+                                    ///< snapshot-command metadata (worker
+                                    ///< modes) — the micro_checkpoint gate
+  std::int64_t snapshot_saves = 0;     ///< worker-local shadows created
+  std::int64_t snapshot_replicas = 0;  ///< buddy replicas shipped
+  std::int64_t snapshot_drops = 0;     ///< stale shadows freed
 };
 
 class CheckpointStore {
  public:
+  /// Head-resident store with no event plane (unit tests, and the default
+  /// ablation baseline).
+  CheckpointStore() = default;
+
+  /// `events` may be null, which forces Head locality.
+  CheckpointStore(EventSystem* events, CheckpointLocality locality)
+      : events_(events),
+        locality_(events == nullptr ? CheckpointLocality::Head : locality) {}
+
   /// Whether a snapshot exists to roll back to.
   bool has_checkpoint() const noexcept { return have_; }
 
@@ -49,34 +82,84 @@ class CheckpointStore {
   std::size_t num_buffers() const noexcept { return entries_.size(); }
 
   /// Snapshots every registered buffer at a wave boundary. Only buffers in
-  /// the Data Manager's dirty set are retrieved and copied; clean buffers
-  /// reuse the previous snapshot's entry by reference. Must run at a
-  /// quiescent point (between waves). Replaces any previous snapshot —
-  /// recovery is always to the most recent wave boundary checkpoint — and
-  /// commits atomically: a worker dying mid-capture leaves the previous
-  /// snapshot (and the dirty set) intact.
-  void capture(DataManager& dm, std::int64_t wave);
+  /// the Data Manager's dirty set are re-captured; clean buffers reuse the
+  /// previous snapshot's entry by reference. Must run at a quiescent point
+  /// (between waves). Replaces any previous snapshot — recovery is always
+  /// to the most recent boundary — and commits atomically: a worker dying
+  /// mid-capture leaves the previous snapshot (and the dirty set) intact.
+  /// `live_workers` (worker-local modes) picks each owner's buddy rank.
+  void capture(DataManager& dm, std::int64_t wave,
+               std::span<const mpi::Rank> live_workers = {});
 
   /// Rolls every checkpointed buffer back: re-registers buffers a DataExit
-  /// erased meanwhile, drops surviving worker replicas and rewrites the
-  /// host copies with the snapshot. The cluster must be quiescent and dead
-  /// ranks already purged from the Data Manager.
+  /// erased meanwhile, resolves each snapshot from its freshest surviving
+  /// holder, and rewrites the host copies. The cluster must be quiescent
+  /// and dead ranks already purged from the Data Manager. Throws
+  /// RecoveryError when a buffer's owner AND buddy died in the same
+  /// checkpoint period with no head entry to fall back on.
   void restore(DataManager& dm);
 
   const CheckpointStats& stats() const noexcept { return stats_; }
 
+  /// Current committed snapshot generation (test hook).
+  std::uint64_t generation() const noexcept { return generation_; }
+
+  /// Entries whose bytes live on workers, not the head (test hook).
+  std::size_t worker_resident_entries() const;
+
  private:
+  /// A device-local snapshot replica on one rank (rank < 0: none).
+  struct Shadow {
+    mpi::Rank rank = -1;
+    offload::TargetPtr ptr = 0;
+  };
+
   struct Entry {
     void* host = nullptr;
     std::size_t size = 0;
-    /// Immutable once captured; shared between consecutive snapshot
-    /// generations so clean buffers cost no copy.
+    std::uint64_t generation = 0;
+    /// Head-resident bytes; immutable once captured and shared between
+    /// consecutive snapshot generations so clean buffers cost no copy.
+    /// Null when the snapshot lives on workers instead.
     std::shared_ptr<const Bytes> data;
+    Shadow owner;  ///< worker-local shadow (worker modes)
+    Shadow buddy;  ///< ring-successor replica (Buddy mode)
   };
+
+  /// Whether `e`'s bytes can still be produced from some live holder.
+  bool restorable(const Entry& e) const;
+
+  /// Ring successor of `owner` among `live` (-1 when no distinct buddy).
+  static mpi::Rank buddy_of(mpi::Rank owner,
+                            std::span<const mpi::Rank> live);
+
+  /// Best-effort SnapshotDrop of every shadow on a still-live rank; a rank
+  /// dying mid-drop is ignored (its memory dies with it).
+  void drop_shadows(const std::vector<Shadow>& shadows);
+
+  /// Head-resident capture of the pending entries: fan the retrieves out
+  /// across the transfer pool, then copy each host buffer.
+  void capture_on_head(DataManager& dm, std::vector<Entry>& fresh,
+                       const std::vector<std::size_t>& pending);
+
+  /// Worker-local capture: SnapshotSave on each owner (+ buddy replica via
+  /// the Exchange path), pipelined across buffers. On failure the shadows
+  /// created so far are parked in orphaned_ and the error rethrown — the
+  /// previous generation stays intact.
+  void capture_on_workers(DataManager& dm, std::vector<Entry>& fresh,
+                          const std::vector<std::size_t>& pending,
+                          std::span<const mpi::Rank> live_workers);
+
+  EventSystem* events_ = nullptr;
+  CheckpointLocality locality_ = CheckpointLocality::Head;
 
   std::vector<Entry> entries_;
   std::int64_t wave_ = -1;
   bool have_ = false;
+  std::uint64_t generation_ = 0;
+  /// Shadows whose drop had to be deferred (aborted capture, interrupted
+  /// restore): freed at the next quiescent opportunity.
+  std::vector<Shadow> orphaned_;
   CheckpointStats stats_;
 };
 

@@ -2,7 +2,6 @@
 
 #include <algorithm>
 #include <cstring>
-#include <latch>
 
 #include "common/check.hpp"
 #include "common/log.hpp"
@@ -236,10 +235,6 @@ std::vector<offload::TargetPtr> DataManager::prepare_args(
     states.push_back(b);
   }
   std::vector<offload::TargetPtr> out(buffers.size(), 0);
-  if (states.size() <= 1) {
-    if (!states.empty()) out[0] = ensure_on(worker, *states[0]);
-    return out;
-  }
   // A target region's inputs arrive from independent locations; fetch them
   // concurrently so one task pays max(transfer) instead of sum(transfer).
   // The extra fetches run as jobs on the persistent transfer pool (shared
@@ -247,36 +242,12 @@ std::vector<offload::TargetPtr> DataManager::prepare_args(
   // thread churn was a measurable slice of head overhead. Transfer jobs
   // never submit further jobs, so a saturated pool only queues, it cannot
   // deadlock. (ensure_on already coalesces duplicate buffers.) Fetcher
-  // failures (a worker dying mid-transfer) are re-raised here so the
+  // failures (a worker dying mid-transfer) are re-raised by fan_out so the
   // helper thread running the task sees them.
-  // Shared, not stack-allocated: wait() can return while the last job is
-  // still inside count_down()'s notify, which would race a stack latch's
-  // destructor; the jobs' copies keep it alive past that window. (out/
-  // errors/states stay stack refs — their writes happen before count_down,
-  // which wait() synchronizes with.)
-  auto fetched =
-      std::make_shared<std::latch>(static_cast<std::ptrdiff_t>(states.size() - 1));
-  std::vector<std::exception_ptr> errors(states.size());
-  for (std::size_t i = 1; i < states.size(); ++i) {
-    transfer_pool_->submit([this, worker, &states, &out, &errors, fetched,
-                            i] {
-      try {
-        out[i] = ensure_on(worker, *states[i]);
-      } catch (...) {
-        errors[i] = std::current_exception();
-      }
-      fetched->count_down();
-    });
-  }
-  try {
-    out[0] = ensure_on(worker, *states[0]);
-  } catch (...) {
-    errors[0] = std::current_exception();
-  }
-  fetched->wait();
-  for (auto& e : errors) {
-    if (e) std::rethrow_exception(e);
-  }
+  fan_out(*transfer_pool_, states.size(), [this, worker, &states, &out](
+                                              std::size_t i) {
+    out[i] = ensure_on(worker, *states[i]);
+  });
   return out;
 }
 
@@ -363,6 +334,8 @@ void DataManager::fetch_to_head_locked(BufferState& b,
   stats_.retrieves.fetch_add(1, std::memory_order_relaxed);
   stats_.bytes_moved.fetch_add(static_cast<std::int64_t>(b.size),
                                std::memory_order_relaxed);
+  stats_.head_fetch_bytes.fetch_add(static_cast<std::int64_t>(b.size),
+                                    std::memory_order_relaxed);
   lk.lock();
   b.head_fetching = false;
   b.on_head = true;
@@ -374,6 +347,23 @@ void DataManager::refresh_head(const void* host) {
   OMPC_CHECK_MSG(b != nullptr, "refresh_head for unregistered buffer " << host);
   std::unique_lock<std::mutex> lk(b->lock);
   fetch_to_head_locked(*b, lk);
+}
+
+std::int64_t DataManager::refresh_head_many(
+    std::span<const void* const> hosts) {
+  std::atomic<std::int64_t> fetched{0};
+  fan_out(*transfer_pool_, hosts.size(), [this, &hosts, &fetched](
+                                             std::size_t i) {
+    BufferState* b = find(hosts[i]);
+    OMPC_CHECK_MSG(b != nullptr,
+                   "refresh_head for unregistered buffer " << hosts[i]);
+    std::unique_lock<std::mutex> lk(b->lock);
+    if (!b->on_head)
+      fetched.fetch_add(static_cast<std::int64_t>(b->size),
+                        std::memory_order_relaxed);
+    fetch_to_head_locked(*b, lk);
+  });
+  return fetched.load();
 }
 
 void DataManager::for_each_buffer(
@@ -388,6 +378,22 @@ void DataManager::for_each_buffer(
     }
   }
   for (const auto& [host, size] : all) fn(host, size);
+}
+
+DataManager::Residency DataManager::residency(const void* host) const {
+  Residency r;
+  BufferState* b = find(host);
+  if (b == nullptr) return r;
+  std::lock_guard<std::mutex> lock(b->lock);
+  r.on_head = b->on_head;
+  for (const auto& [rank, st] : b->state) {
+    if (st == CopyState::Valid) {
+      r.owner = rank;
+      r.owner_addr = b->addr.at(rank);
+      break;
+    }
+  }
+  return r;
 }
 
 void DataManager::purge_rank(mpi::Rank dead) {

@@ -50,6 +50,9 @@ struct DataManagerStats {
   std::atomic<std::int64_t> bytes_moved{0};
   std::atomic<std::int64_t> buffers_lost{0};  ///< sole copy was on a corpse
   std::atomic<std::int64_t> threads_spawned{0};  ///< transfer-pool spawns
+  std::atomic<std::int64_t> head_fetch_bytes{0};  ///< bytes retrieved into
+                                                  ///< host copies (head NIC
+                                                  ///< inbound data volume)
 };
 
 class DataManager {
@@ -106,10 +109,29 @@ class DataManager {
   /// worker replicas stay valid. Checkpoint capture uses this.
   void refresh_head(const void* host);
 
+  /// refresh_head for a whole set at once: the retrieves fan out across the
+  /// persistent transfer pool (one job per buffer, max(transfer) instead of
+  /// sum(transfer) — the head-resident capture path was serial before).
+  /// Returns the bytes actually retrieved (buffers already valid on the
+  /// head cost nothing); rethrows the first fetch failure after all jobs
+  /// have settled, so no job outlives the call.
+  std::int64_t refresh_head_many(std::span<const void* const> hosts);
+
   /// Calls `fn(host, size)` for every registered buffer. Must not be
   /// called concurrently with registration (head control thread only).
   void for_each_buffer(
       const std::function<void(void*, std::size_t)>& fn) const;
+
+  /// Snapshot-placement query (worker-local checkpoints): where the
+  /// freshest copy of `host` lives — the head and/or the first worker with
+  /// a valid replica (owner == -1 when none), with the replica's device
+  /// address so the owner can snapshot it in place.
+  struct Residency {
+    bool on_head = false;
+    mpi::Rank owner = -1;
+    offload::TargetPtr owner_addr = 0;
+  };
+  Residency residency(const void* host) const;
 
   /// Forgets every replica on `dead` WITHOUT issuing Delete events (a dead
   /// rank frees its own memory when its thread unwinds). Buffers whose only

@@ -23,6 +23,9 @@ const char* to_string(EventKind k) {
     case EventKind::Execute: return "Execute";
     case EventKind::Shutdown: return "Shutdown";
     case EventKind::RankDead: return "RankDead";
+    case EventKind::SnapshotSave: return "SnapshotSave";
+    case EventKind::SnapshotDrop: return "SnapshotDrop";
+    case EventKind::SnapshotFetch: return "SnapshotFetch";
   }
   return "?";
 }
@@ -57,6 +60,22 @@ mpi::Payload WorkerMemory::share(offload::TargetPtr ptr,
   return mpi::Payload::share(
       std::shared_ptr<const void>(it->second.mem, it->second.mem.get()),
       reinterpret_cast<const void*>(ptr), size);
+}
+
+offload::TargetPtr WorkerMemory::snapshot(offload::TargetPtr src,
+                                          std::size_t size) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  const auto it = live_.find(src);
+  OMPC_CHECK_MSG(it != live_.end(), "snapshot of unknown device ptr " << src);
+  OMPC_CHECK_MSG(size <= it->second.size,
+                 "snapshot of " << size << " B exceeds allocation of "
+                                << it->second.size << " B");
+  const std::size_t n = size == 0 ? 1 : size;
+  std::shared_ptr<std::byte[]> mem(new std::byte[n]);
+  std::memcpy(mem.get(), it->second.mem.get(), size);
+  const auto tp = reinterpret_cast<offload::TargetPtr>(mem.get());
+  live_.emplace(tp, Block{std::move(mem), n});
+  return tp;
 }
 
 std::size_t WorkerMemory::live() const {
@@ -202,9 +221,10 @@ OriginEventPtr EventSystem::start(mpi::Rank dest, EventKind kind, Bytes header,
 
 OriginEventPtr EventSystem::start_retrieve(mpi::Rank dest,
                                            offload::TargetPtr src,
-                                           void* dst_host, std::size_t size) {
+                                           void* dst_host, std::size_t size,
+                                           EventKind kind) {
   const mpi::Tag tag = allocate_tag();
-  auto ev = std::make_shared<OriginEvent>(tag, EventKind::Retrieve, dest);
+  auto ev = std::make_shared<OriginEvent>(tag, kind, dest);
   // Post the landing buffer before the worker can possibly send.
   ev->data_request_ = data_comm_for(tag).irecv(dst_host, size, dest, tag);
   {
@@ -222,7 +242,7 @@ OriginEventPtr EventSystem::start_retrieve(mpi::Rank dest,
   ArchiveWriter w;
   w.put(RetrieveHeader{src, size});
   EventAnnounce a;
-  a.kind = EventKind::Retrieve;
+  a.kind = kind;
   a.tag = tag;
   a.origin = rank_;
   a.header = w.take();
@@ -281,6 +301,10 @@ void EventSystem::announce_rank_dead(mpi::Rank dead) {
 bool EventSystem::is_rank_dead(mpi::Rank r) const {
   std::lock_guard<std::mutex> lock(origin_mutex_);
   return dead_ranks_.count(r) != 0;
+}
+
+bool EventSystem::is_rank_gone(mpi::Rank r) const {
+  return is_rank_dead(r) || control_.universe().is_dead(r);
 }
 
 void EventSystem::quiesce() {
@@ -472,13 +496,30 @@ bool EventSystem::progress(RemoteEvent& ev) {
       send_completion(a.origin, a.tag, {});
       return true;
     }
-    case EventKind::Retrieve: {
+    case EventKind::Retrieve:
+    case EventKind::SnapshotFetch: {
       const auto h = header.get<RetrieveHeader>();
       OMPC_CHECK(memory_ != nullptr);
       // Zero-copy: the payload shares the device block (pinned even across
       // a later Delete); the head's posted irecv is the only copy.
       data_comm_for(a.tag).isend_payload(memory_->share(h.src, h.size),
                                          a.origin, a.tag);
+      send_completion(a.origin, a.tag, {});
+      return true;
+    }
+    case EventKind::SnapshotSave: {
+      const auto h = header.get<SnapshotSaveHeader>();
+      OMPC_CHECK(memory_ != nullptr);
+      const offload::TargetPtr shadow = memory_->snapshot(h.src, h.size);
+      ArchiveWriter w;
+      w.put(shadow);
+      send_completion(a.origin, a.tag, w.take());
+      return true;
+    }
+    case EventKind::SnapshotDrop: {
+      const auto h = header.get<SnapshotDropHeader>();
+      OMPC_CHECK(memory_ != nullptr);
+      memory_->free(h.ptr);
       send_completion(a.origin, a.tag, {});
       return true;
     }

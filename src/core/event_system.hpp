@@ -43,6 +43,11 @@ class WorkerMemory {
   offload::TargetPtr alloc(std::size_t size);
   void free(offload::TargetPtr ptr);
 
+  /// Worker-local checkpoint shadow (SnapshotSave): allocates a fresh block
+  /// and copies `size` bytes from the live allocation at `src` (a block
+  /// base) into it, entirely rank-local. Returns the shadow's address.
+  offload::TargetPtr snapshot(offload::TargetPtr src, std::size_t size);
+
   /// Zero-copy read view of the allocation starting at `ptr` (must be a
   /// block base), pinned for the payload's lifetime.
   mpi::Payload share(offload::TargetPtr ptr, std::size_t size) const;
@@ -136,9 +141,12 @@ class EventSystem {
                        mpi::Rank peer = mpi::kAnySource);
 
   /// Retrieve: posts the inbound irecv into `dst_host` *before* notifying
-  /// the worker, so the payload can never race the receive.
+  /// the worker, so the payload can never race the receive. `kind` may be
+  /// SnapshotFetch (wire-identical pull of a checkpoint shadow) instead of
+  /// the default Retrieve.
   OriginEventPtr start_retrieve(mpi::Rank dest, offload::TargetPtr src,
-                                void* dst_host, std::size_t size);
+                                void* dst_host, std::size_t size,
+                                EventKind kind = EventKind::Retrieve);
 
   /// start + wait.
   Bytes run(mpi::Rank dest, EventKind kind, Bytes header,
@@ -161,6 +169,11 @@ class EventSystem {
 
   /// Whether `r` has been declared dead (local knowledge).
   bool is_rank_dead(mpi::Rank r) const;
+
+  /// Combined liveness: declared dead by a detector OR already poisoned in
+  /// the simulated universe (a corpse no detector has flagged yet). The
+  /// checkpoint store uses this to resolve which snapshot holder survives.
+  bool is_rank_gone(mpi::Rank r) const;
 
   /// Blocks until no origin event is outstanding — the quiescent point the
   /// recovery path needs before it mutates cluster-wide data state.

@@ -1,6 +1,7 @@
 #include "core/graph.hpp"
 
 #include <algorithm>
+#include <cstring>
 #include <map>
 #include <unordered_map>
 
@@ -63,6 +64,38 @@ void ClusterGraph::build_edges() {
     tasks_[static_cast<std::size_t>(pair.first)].succs.push_back(pair.second);
     tasks_[static_cast<std::size_t>(pair.second)].preds.push_back(pair.first);
   }
+}
+
+std::uint64_t ClusterGraph::structural_hash() const {
+  // FNV-1a over everything the scheduler consumes. Host-pointer values
+  // stand in for buffer identity: an iterative program re-using the same
+  // buffers hashes identically wave after wave, which is the case worth
+  // memoizing.
+  std::uint64_t h = 0xcbf29ce484222325ull;
+  const auto mix = [&h](std::uint64_t v) {
+    for (int i = 0; i < 8; ++i) {
+      h ^= (v >> (i * 8)) & 0xff;
+      h *= 0x100000001b3ull;
+    }
+  };
+  mix(tasks_.size());
+  for (const ClusterTask& t : tasks_) {
+    mix(static_cast<std::uint64_t>(t.type));
+    mix(static_cast<std::uint64_t>(t.kernel));
+    std::uint64_t cost_bits = 0;
+    static_assert(sizeof cost_bits == sizeof t.cost_s);
+    std::memcpy(&cost_bits, &t.cost_s, sizeof cost_bits);
+    mix(cost_bits);
+    mix(reinterpret_cast<std::uintptr_t>(t.buffer));
+    mix(static_cast<std::uint64_t>(t.copy));
+    mix(t.deps.size());
+    for (const omp::Dep& d : t.deps) {
+      mix(reinterpret_cast<std::uintptr_t>(d.addr));
+      mix(static_cast<std::uint64_t>(d.type));
+      if (buffer_size_ && d.addr != nullptr) mix(buffer_size_(d.addr));
+    }
+  }
+  return h;
 }
 
 std::vector<int> ClusterGraph::roots() const {

@@ -95,6 +95,14 @@ class ClusterGraph {
   /// Data-task-free view for the scheduler.
   CollapsedView collapsed() const;
 
+  /// Structural fingerprint for schedule memoization (paper Fig. 7b:
+  /// iterative applications re-record an identical DAG every time step).
+  /// Covers every input the scheduler reads: task types, kernels, cost
+  /// hints, the dependence lists (addresses + access types) and the
+  /// dependence buffers' byte sizes. Equal hashes mean build_edges()
+  /// derives identical edges and schedule() sees an identical problem.
+  std::uint64_t structural_hash() const;
+
   /// Bytes attached to the edge from->to (0 when absent).
   std::size_t edge_bytes(int from, int to) const;
 

@@ -1,6 +1,8 @@
 #include "core/helper_pool.hpp"
 
 #include <algorithm>
+#include <latch>
+#include <memory>
 
 #include "common/check.hpp"
 #include "common/log.hpp"
@@ -48,6 +50,42 @@ void HelperPool::worker_main() {
     }
     job();
     jobs_run_.fetch_add(1, std::memory_order_relaxed);
+  }
+}
+
+void fan_out(HelperPool& pool, std::size_t n,
+             const std::function<void(std::size_t)>& fn) {
+  if (n == 0) return;
+  if (n == 1) {
+    fn(0);
+    return;
+  }
+  // Shared, not stack-allocated: wait() can return while the last job is
+  // still inside count_down()'s notify, which would race a stack latch's
+  // destructor; the jobs' copies keep it alive past that window. (fn and
+  // errors stay stack refs — their writes happen before count_down, which
+  // wait() synchronizes with.)
+  auto done =
+      std::make_shared<std::latch>(static_cast<std::ptrdiff_t>(n - 1));
+  std::vector<std::exception_ptr> errors(n);
+  for (std::size_t i = 1; i < n; ++i) {
+    pool.submit([&fn, &errors, done, i] {
+      try {
+        fn(i);
+      } catch (...) {
+        errors[i] = std::current_exception();
+      }
+      done->count_down();
+    });
+  }
+  try {
+    fn(0);
+  } catch (...) {
+    errors[0] = std::current_exception();
+  }
+  done->wait();
+  for (auto& e : errors) {
+    if (e) std::rethrow_exception(e);
   }
 }
 

@@ -60,4 +60,13 @@ class HelperPool {
   std::vector<std::thread> threads_;
 };
 
+/// Runs fn(0) inline and fn(1..n-1) as pool jobs, returning only after
+/// every call has settled; the first failure is rethrown on the calling
+/// thread (so no job outlives the stack state fn captures). This is the
+/// shared fan-out scaffold of prepare_args and refresh_head_many — the
+/// latch-lifetime subtlety (wait() can return while the last count_down is
+/// still inside notify) lives here once.
+void fan_out(HelperPool& pool, std::size_t n,
+             const std::function<void(std::size_t)>& fn);
+
 }  // namespace ompc::core

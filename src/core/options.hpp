@@ -30,6 +30,26 @@ enum class Forwarding {
   ViaHead,
 };
 
+/// Where the §5 wave-boundary snapshot bytes live (the checkpoint data
+/// plane). The paper only requires a *consistent* snapshot, not a
+/// head-resident one — worker-local placement takes the capture cost off
+/// the head NIC entirely (bench/micro_checkpoint gates this).
+enum class CheckpointLocality {
+  /// PR 1/PR 3 baseline: every dirty buffer is retrieved to the head and
+  /// copied there — capture cost scales with dirty bytes × head bandwidth.
+  Head,
+  /// Each worker snapshots its dirty buffers into device-local shadow
+  /// copies; the head keeps metadata only (plus bytes for head-resident
+  /// buffers). No redundancy: the snapshot dies with its owner.
+  WorkerLocal,
+  /// WorkerLocal plus one replica on a buddy rank (the owner's ring
+  /// successor among the live workers), shipped over the direct
+  /// worker->worker Exchange path. Recovery survives the owner's death;
+  /// owner AND buddy dying in one period degrades to a clean
+  /// RecoveryError (or the head entry when one exists).
+  Buddy,
+};
+
 /// Task-to-worker scheduling policy (§4.4 + ablations).
 enum class SchedulerKind {
   Heft,        ///< The paper's HEFT with its two adaptations.
@@ -90,6 +110,11 @@ struct ClusterOptions {
   /// periods cost less in steady state but re-execute more waves on
   /// failure — bench/ablation_recovery measures the trade.
   int checkpoint_period = 0;
+
+  /// Snapshot placement policy (see CheckpointLocality). Head is the
+  /// ablation baseline; Buddy keeps capture traffic through the head to
+  /// O(metadata) while surviving the snapshot owner's death.
+  CheckpointLocality checkpoint_locality = CheckpointLocality::Head;
 
   /// Fault injection forwarded to the simulated universe: each entry kills
   /// one rank at a fixed time offset (deterministic, testable failures).

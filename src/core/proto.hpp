@@ -32,6 +32,14 @@ enum class EventKind : std::uint8_t {
   Execute,       ///< run a registered kernel on local device memory
   Shutdown,      ///< stop the event system (sent once by the head)
   RankDead,      ///< head -> workers: a rank died; abort events touching it
+
+  // Worker-local checkpoint data plane (§5, CheckpointLocality): the head
+  // commands snapshots by metadata; the bytes never touch its NIC.
+  SnapshotSave,   ///< copy a device region into a local shadow; replies
+                  ///< with the shadow's address
+  SnapshotDrop,   ///< free a shadow (stale generation / post-restore)
+  SnapshotFetch,  ///< send shadow bytes to the origin (restore path) —
+                  ///< wire-identical to Retrieve, distinct for accounting
 };
 
 const char* to_string(EventKind k);
@@ -63,6 +71,20 @@ struct SubmitHeader {
 struct RetrieveHeader {
   offload::TargetPtr src = 0;
   std::uint64_t size = 0;
+};
+
+/// SnapshotSave: the destination copies `size` bytes starting at the device
+/// address `src` into a freshly allocated local shadow block and replies
+/// with the shadow's address. Purely rank-local — the one event whose data
+/// volume is invisible to the network.
+struct SnapshotSaveHeader {
+  offload::TargetPtr src = 0;
+  std::uint64_t size = 0;
+};
+
+/// SnapshotDrop: free the shadow at `ptr` (a previous SnapshotSave result).
+struct SnapshotDropHeader {
+  offload::TargetPtr ptr = 0;
 };
 
 /// Broadcast by the head after the failure detector declares a rank dead so

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <chrono>
 #include <condition_variable>
+#include <cstring>
 #include <thread>
 
 #include "common/check.hpp"
@@ -13,7 +14,11 @@
 namespace ompc::core {
 
 Runtime::Runtime(const ClusterOptions& opts, EventSystem& events)
-    : opts_(opts), events_(events), dm_(events, opts), graph_(fresh_graph()) {
+    : opts_(opts),
+      events_(events),
+      dm_(events, opts),
+      graph_(fresh_graph()),
+      ckpt_(&events, opts.checkpoint_locality) {
   // Scheduler processors map onto this live-worker table; recovery shrinks
   // it, which is how survivors are re-ranked after a failure.
   live_workers_.reserve(static_cast<std::size_t>(opts.num_workers));
@@ -209,13 +214,53 @@ void Runtime::dispatch(const ClusterGraph& graph, const ScheduleResult& sched) {
   OMPC_CHECK_MSG(ws.done == n, "dispatch finished with unexecuted tasks");
 }
 
+std::uint64_t Runtime::schedule_cache_key(const ClusterGraph& graph) const {
+  // Everything schedule() reads beyond the graph itself goes into the key;
+  // the live-worker set in particular, so a schedule computed before a
+  // failure can never be replayed onto a shrunk cluster.
+  std::uint64_t h = graph.structural_hash();
+  const auto mix = [&h](std::uint64_t v) {
+    h ^= v + 0x9e3779b97f4a7c15ull + (h << 6) + (h >> 2);
+  };
+  mix(static_cast<std::uint64_t>(opts_.scheduler));
+  mix(static_cast<std::uint64_t>(opts_.network.latency_ns));
+  std::uint64_t bw_bits = 0;
+  std::memcpy(&bw_bits, &opts_.network.bandwidth_Bps, sizeof bw_bits);
+  mix(bw_bits);
+  std::uint64_t cost_bits = 0;
+  std::memcpy(&cost_bits, &opts_.default_task_cost_s, sizeof cost_bits);
+  mix(cost_bits);
+  mix(opts_.seed);
+  mix(live_workers_.size());
+  for (const mpi::Rank r : live_workers_) mix(static_cast<std::uint64_t>(r));
+  return h;
+}
+
 void Runtime::run_wave(const ClusterGraph& graph) {
+  // Fig. 7b workloads (awave/RTM, stepwise Task Bench) re-record an
+  // identical DAG every time step; rescheduling it is pure head overhead.
+  // Serve repeats from the cache and run HEFT only on structurally new
+  // graphs. Recovery clears the cache (and re-keys it via live_workers_).
+  const std::uint64_t key = schedule_cache_key(graph);
+  if (const auto it = schedule_cache_.find(key);
+      it != schedule_cache_.end() &&
+      it->second.processor.size() == graph.size()) {
+    // (The size check makes a 64-bit key collision a miss, not an
+    // out-of-bounds dispatch.)
+    ++stats_.schedule_cache_hits;
+    stats_.makespan_estimate_s = it->second.makespan_estimate_s;
+    last_ = it->second;
+    dispatch(graph, it->second);
+    return;
+  }
   const ScheduleResult sched =
       schedule(opts_.scheduler, graph, num_live_workers(),
                CostModel::from_network(opts_.network),
                opts_.default_task_cost_s, opts_.seed);
   stats_.schedule_ns += sched.schedule_ns;
   stats_.makespan_estimate_s = sched.makespan_estimate_s;
+  if (schedule_cache_.size() >= 128) schedule_cache_.clear();  // bound it
+  schedule_cache_.insert_or_assign(key, sched);
   last_ = sched;
   dispatch(graph, sched);
 }
@@ -237,6 +282,11 @@ void Runtime::report_worker_failure(mpi::Rank dead) {
   }
   OMPC_LOG_WARN("failure detector: worker rank " << dead
                                                  << " declared dead");
+  // Recovery-latency episode start (detection -> replay complete): only the
+  // first detection of an episode arms the clock.
+  std::int64_t expected = 0;
+  failure_detected_ns_.compare_exchange_strong(expected, now_ns(),
+                                               std::memory_order_acq_rel);
   failures_reported_.fetch_add(1, std::memory_order_acq_rel);
   // Abort in-flight events touching the corpse (helper threads unwind with
   // WorkerDiedError) and tell live workers to drop its pending exchanges.
@@ -246,6 +296,14 @@ void Runtime::report_worker_failure(mpi::Rank dead) {
 
 void Runtime::rollback(mpi::Rank dead) {
   const Stopwatch timer;
+  // A corpse discovered by an event throw (no detector report yet) must
+  // still open the latency episode.
+  std::int64_t expected = 0;
+  failure_detected_ns_.compare_exchange_strong(expected, now_ns(),
+                                               std::memory_order_acq_rel);
+  // Cached schedules were computed for the pre-failure worker set; the
+  // re-ranked survivors must be scheduled fresh.
+  schedule_cache_.clear();
 
   // Re-rank: drop every reported corpse from the processor table. Detector
   // threads read live_workers_ under fault_mutex_ (report_worker_failure),
@@ -356,6 +414,20 @@ void Runtime::run_with_recovery(const ClusterGraph* current, bool replaying) {
         if (replaying)
           stats_.replayed_tasks += static_cast<std::int64_t>(current->size());
       }
+      // Replay complete: close the recovery-latency episode. Guarded on
+      // `replaying` so a detection landing after the wave finished is left
+      // armed for the recovery that will process it, and on
+      // failure_pending_ so a failure detected mid-replay extends the
+      // episode (its own wait time must not be dropped) instead of
+      // restarting the clock at its later rollback.
+      if (replaying &&
+          !failure_pending_.load(std::memory_order_acquire)) {
+        if (const std::int64_t t0 = failure_detected_ns_.exchange(
+                0, std::memory_order_acq_rel);
+            t0 != 0) {
+          stats_.recovery_latency_ns += now_ns() - t0;
+        }
+      }
       return;
     } catch (const WorkerDiedError& e) {
       recover_from(e.rank());  // RecoveryError escapes when impossible
@@ -382,13 +454,13 @@ void Runtime::wait_all() {
   if (ft) {
     if (wave_index_ % opts_.checkpoint_period == 0) {
       try {
-        ckpt_.capture(dm_, wave_index_);
+        ckpt_.capture(dm_, wave_index_, live_workers_);
         wave_log_.clear();
       } catch (const WorkerDiedError& e) {
         // A worker died mid-capture. The previous snapshot is intact
-        // (capture commits atomically); roll back to it and keep the wave
-        // log — those waves still need replaying. The next boundary will
-        // retake the checkpoint.
+        // (capture commits atomically, worker-local shadows included);
+        // roll back to it and keep the wave log — those waves still need
+        // replaying. The next boundary will retake the checkpoint.
         recover_from(e.rank());
         replaying = true;
       }
@@ -396,6 +468,8 @@ void Runtime::wait_all() {
       stats_.checkpoints = cs.captures;
       stats_.checkpoint_bytes = cs.bytes_captured;
       stats_.checkpoint_dirty_bytes = cs.dirty_bytes;
+      stats_.checkpoint_head_bytes = cs.head_bytes;
+      stats_.snapshot_replicas = cs.snapshot_replicas;
       stats_.checkpoint_ns = cs.capture_ns;
     }
     // Log the wave for replay (moved, not copied — it is executed from the
@@ -547,10 +621,18 @@ RuntimeStats launch(const ClusterOptions& opts,
       stats.data_tasks = rs.data_tasks;
       stats.host_tasks = rs.host_tasks;
       stats.makespan_estimate_s = rs.makespan_estimate_s;
-      stats.checkpoints = rs.checkpoints;
-      stats.checkpoint_bytes = rs.checkpoint_bytes;
-      stats.checkpoint_dirty_bytes = rs.checkpoint_dirty_bytes;
-      stats.checkpoint_ns = rs.checkpoint_ns;
+      // Checkpoint counters come straight from the store: drops issued at
+      // late boundaries and restores update it after the last wait_all
+      // refresh.
+      const CheckpointStats& cks = rt.checkpoints().stats();
+      stats.checkpoints = cks.captures;
+      stats.checkpoint_bytes = cks.bytes_captured;
+      stats.checkpoint_dirty_bytes = cks.dirty_bytes;
+      stats.checkpoint_head_bytes = cks.head_bytes;
+      stats.snapshot_replicas = cks.snapshot_replicas;
+      stats.checkpoint_ns = cks.capture_ns;
+      stats.schedule_cache_hits = rs.schedule_cache_hits;
+      stats.recovery_latency_ns = rs.recovery_latency_ns;
       stats.recoveries = rs.recoveries;
       stats.workers_lost = rs.workers_lost;
       stats.buffers_lost = rs.buffers_lost;

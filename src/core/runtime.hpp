@@ -23,6 +23,7 @@
 #include <functional>
 #include <memory>
 #include <mutex>
+#include <unordered_map>
 
 #include "core/checkpoint.hpp"
 #include "core/data_manager.hpp"
@@ -58,14 +59,26 @@ struct RuntimeStats {
   // Fault tolerance (§5): checkpoint cost and recovery work.
   std::int64_t checkpoints = 0;       ///< wave-boundary snapshots taken
   std::int64_t checkpoint_bytes = 0;  ///< cumulative logical snapshot volume
-  std::int64_t checkpoint_dirty_bytes = 0;  ///< bytes actually retrieved +
-                                            ///< copied (the dirty subset)
+  std::int64_t checkpoint_dirty_bytes = 0;  ///< bytes actually snapshotted
+                                            ///< (the dirty subset)
+  std::int64_t checkpoint_head_bytes = 0;  ///< capture bytes through the
+                                           ///< head NIC (payload retrieves +
+                                           ///< snapshot-command metadata) —
+                                           ///< O(metadata) under Buddy mode
+  std::int64_t snapshot_replicas = 0;  ///< buddy replicas shipped
+                                       ///< worker->worker at boundaries
   std::int64_t checkpoint_ns = 0;     ///< cumulative capture wall time
   std::int64_t recoveries = 0;        ///< rollback + re-execution rounds
   std::int64_t workers_lost = 0;      ///< ranks declared dead and dropped
   std::int64_t buffers_lost = 0;      ///< sole-copy buffers restored
   std::int64_t replayed_tasks = 0;    ///< tasks re-executed after rollback
   std::int64_t recovery_ns = 0;       ///< rollback + replay wall time
+  std::int64_t recovery_latency_ns = 0;  ///< failure detection -> replay
+                                         ///< complete, summed per episode
+
+  // Schedule memoization (paper Fig. 7b: iterative apps re-record an
+  // identical DAG every step; rescheduling it is pure head overhead).
+  std::int64_t schedule_cache_hits = 0;  ///< waves served from the cache
 
   // Hot-path counters (bench/micro_hotpath asserts these, not eyeballs).
   std::int64_t threads_spawned = 0;  ///< head-side pool threads created —
@@ -176,6 +189,9 @@ class Runtime {
   /// Rolls the cluster back to the last checkpoint after `dead` failed (or
   /// throws RecoveryError when recovery is impossible).
   void rollback(mpi::Rank dead);
+  /// Cache key for the current wave: the graph's structural hash combined
+  /// with everything else schedule() reads (policy, survivors, cost model).
+  std::uint64_t schedule_cache_key(const ClusterGraph& graph) const;
   /// rollback() in a retry loop: absorbs workers that die during the
   /// rollback itself. Throws only RecoveryError.
   void recover_from(mpi::Rank dead);
@@ -194,6 +210,12 @@ class Runtime {
   ScheduleResult last_;
   RuntimeStats stats_;
 
+  /// Memoized schedules keyed by schedule_cache_key(): steady-state
+  /// identical-graph waves skip HEFT entirely. Cleared on recovery (the
+  /// live-worker set is also part of the key, so a stale entry could never
+  /// match — clearing just bounds memory and makes invalidation explicit).
+  std::unordered_map<std::uint64_t, ScheduleResult> schedule_cache_;
+
   // Fault-tolerance state (head control thread, except reported_dead_
   // which detector threads append to under fault_mutex_).
   CheckpointStore ckpt_;
@@ -204,6 +226,9 @@ class Runtime {
   std::vector<mpi::Rank> reported_dead_;   ///< detected, not yet purged
   std::atomic<bool> failure_pending_{false};
   std::atomic<int> failures_reported_{0};
+  /// Start of the current recovery episode (first detection), 0 when none;
+  /// run_with_recovery closes the episode when replay completes.
+  std::atomic<std::int64_t> failure_detected_ns_{0};
 };
 
 /// Runs `head_main` on the head rank of a freshly simulated cluster:

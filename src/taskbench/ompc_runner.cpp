@@ -45,8 +45,12 @@ const offload::KernelId kPointKernel =
 
 }  // namespace
 
-RunResult run_ompc(const TaskBenchSpec& spec,
-                   const core::ClusterOptions& opts) {
+namespace {
+
+/// Shared body of run_ompc / run_ompc_stepwise: the ping-pong dataflow with
+/// an optional wait_all() barrier after every step.
+RunResult run_ompc_impl(const TaskBenchSpec& spec,
+                        const core::ClusterOptions& opts, bool stepwise) {
   const auto w = static_cast<std::size_t>(spec.width);
   const std::size_t out_bytes = std::max<std::size_t>(16, spec.output_bytes);
 
@@ -80,6 +84,7 @@ RunResult run_ompc(const TaskBenchSpec& spec,
         rt.target(std::move(deps), kPointKernel, std::move(args),
                   spec.task_seconds());
       }
+      if (stepwise) rt.wait_all();  // one wave per step
     }
 
     // Retrieve the final row; release the scratch row without copying.
@@ -97,6 +102,18 @@ RunResult run_ompc(const TaskBenchSpec& spec,
   for (const Bytes& b : final_row) digests.push_back(read_digest(b));
   result.checksum = combine_digests(digests);
   return result;
+}
+
+}  // namespace
+
+RunResult run_ompc(const TaskBenchSpec& spec,
+                   const core::ClusterOptions& opts) {
+  return run_ompc_impl(spec, opts, /*stepwise=*/false);
+}
+
+RunResult run_ompc_stepwise(const TaskBenchSpec& spec,
+                            const core::ClusterOptions& opts) {
+  return run_ompc_impl(spec, opts, /*stepwise=*/true);
 }
 
 }  // namespace ompc::taskbench

@@ -29,6 +29,13 @@ RunResult run_sequential(const TaskBenchSpec& spec);
 /// The system under test: OMPC with `opts.num_workers` worker nodes.
 RunResult run_ompc(const TaskBenchSpec& spec, const core::ClusterOptions& opts);
 
+/// run_ompc with one wait_all() per step instead of one graph for the whole
+/// run: each step is its own wave, which is what `checkpoint_period` (and
+/// the schedule cache) are defined over. The fault-tolerance benches and
+/// tests use this shape so every boundary sees worker-resident buffers.
+RunResult run_ompc_stepwise(const TaskBenchSpec& spec,
+                            const core::ClusterOptions& opts);
+
 /// Synchronous data-parallel MPI reference: block-owned columns, per-step
 /// halo exchange (the paper's "best possible baseline").
 RunResult run_mpisync(const TaskBenchSpec& spec, int nodes,

@@ -352,6 +352,10 @@ TEST(HelperPoolUnit, RunsJobsOnPersistentThreads) {
   std::unique_lock<std::mutex> lock(m);
   cv.wait(lock, [&] { return remaining == 0; });
   EXPECT_EQ(sum.load(), 64);
+  // jobs_run_ is bumped after the job body returns (it counts *completed*
+  // jobs), so the last increment can trail the cv notify issued inside the
+  // job; wait for it rather than racing it.
+  while (pool.jobs_run() < 64) std::this_thread::yield();
   EXPECT_EQ(pool.jobs_run(), 64);
 }
 
@@ -359,6 +363,15 @@ TEST(HelperPoolUnit, RunsJobsOnPersistentThreads) {
 const offload::KernelId kBump =
     offload::KernelRegistry::instance().register_kernel(
         "test_hotpath_bump", [](offload::KernelContext& ctx) {
+          *ctx.buffer<std::uint64_t>(0) += 1;
+        });
+
+/// kBump with a scalar sleep first, so kills land mid-wave deterministically.
+const offload::KernelId kSleepyBump =
+    offload::KernelRegistry::instance().register_kernel(
+        "test_hotpath_sleepy_bump", [](offload::KernelContext& ctx) {
+          auto r = ctx.scalars();
+          precise_sleep_ns(r.get<std::int64_t>());
           *ctx.buffer<std::uint64_t>(0) += 1;
         });
 
@@ -397,6 +410,90 @@ TEST(PersistentPools, EndToEndSubmitPathIsSingleCopyPerTransfer) {
   // exactly one payload copy: the delivery fill.
   const RuntimeStats s = run_waves(3, 4);
   EXPECT_EQ(s.payload_copies, s.submits + s.retrieves + s.exchanges);
+}
+
+// --- schedule memoization (paper Fig. 7b) ---------------------------------
+
+TEST(ScheduleCache, SteadyStateIdenticalWavesHitTheCache) {
+  // Iterative programs re-record an identical DAG every time step; after
+  // the first wave schedules it, every repeat must be served from the
+  // cache. The enter wave (wave 0) and the exit wave differ structurally
+  // and are expected misses.
+  constexpr int kWaves = 6;
+  ClusterOptions opts;
+  opts.num_workers = 2;
+  std::vector<std::uint64_t> data(4, 0);
+  const RuntimeStats stats = launch(opts, [&](Runtime& rt) {
+    for (auto& c : data) rt.enter_data(&c, sizeof c);
+    rt.wait_all();  // enter-only wave: its own structure
+    for (int w = 0; w < kWaves; ++w) {
+      for (auto& c : data) {
+        Args args;
+        args.buf(&c);
+        rt.target({omp::inout(&c)}, kBump, std::move(args));
+      }
+      rt.wait_all();
+    }
+    for (auto& c : data) rt.exit_data(&c);
+  });
+  for (const auto c : data) EXPECT_EQ(c, static_cast<std::uint64_t>(kWaves));
+  EXPECT_GE(stats.schedule_cache_hits, kWaves - 1);
+}
+
+TEST(ScheduleCache, DistinctGraphsDoNotFalselyHit) {
+  // Waves of different widths must each be scheduled on their own.
+  ClusterOptions opts;
+  opts.num_workers = 2;
+  std::vector<std::uint64_t> data(4, 0);
+  const RuntimeStats stats = launch(opts, [&](Runtime& rt) {
+    for (auto& c : data) rt.enter_data(&c, sizeof c);
+    for (std::size_t width = 1; width <= data.size(); ++width) {
+      for (std::size_t i = 0; i < width; ++i) {
+        Args args;
+        args.buf(&data[i]);
+        rt.target({omp::inout(&data[i])}, kBump, std::move(args));
+      }
+      rt.wait_all();
+    }
+    for (auto& c : data) rt.exit_data(&c);
+  });
+  EXPECT_EQ(data[0], 4u);  // touched by every wave
+  EXPECT_EQ(data[3], 1u);  // only by the widest
+  EXPECT_EQ(stats.schedule_cache_hits, 0);
+}
+
+TEST(ScheduleCache, InvalidatedOnWorkerDeathAndStillCorrect) {
+  // A cached schedule maps tasks onto the pre-failure worker table; after
+  // recovery re-ranks the survivors it must not be replayed (the cache is
+  // cleared and re-keyed by the live-worker set). Correctness of the
+  // post-recovery waves is the observable: a stale processor index would
+  // dispatch onto a corpse.
+  constexpr int kWaves = 8;
+  ClusterOptions opts;
+  opts.num_workers = 3;
+  opts.heartbeat_period_ms = 5;
+  opts.heartbeat_timeout_ms = 50;
+  opts.checkpoint_period = 1;
+  opts.kills.push_back({2, 60'000'000});
+
+  std::vector<std::uint64_t> data(4, 0);
+  const RuntimeStats stats = launch(opts, [&](Runtime& rt) {
+    for (auto& c : data) rt.enter_data(&c, sizeof c);
+    rt.wait_all();
+    for (int w = 0; w < kWaves; ++w) {
+      for (auto& c : data) {
+        Args args;
+        args.buf(&c).scalar<std::int64_t>(20'000'000);
+        rt.target({omp::inout(&c)}, kSleepyBump, std::move(args), 20e-3);
+      }
+      rt.wait_all();
+    }
+    for (auto& c : data) rt.exit_data(&c);
+  });
+  for (const auto c : data) EXPECT_EQ(c, static_cast<std::uint64_t>(kWaves));
+  EXPECT_GE(stats.recoveries, 1);
+  // The cache still serves the steady state on both sides of the failure.
+  EXPECT_GE(stats.schedule_cache_hits, 1);
 }
 
 }  // namespace
