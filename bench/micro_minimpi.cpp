@@ -1,99 +1,233 @@
-// google-benchmark microbenchmarks of the minimpi substrate: matching
-// engine throughput, ping-pong latency, collective cost — the real CPU
-// overheads underneath every simulated-network experiment.
-#include <benchmark/benchmark.h>
+// Transport-conduit microbenchmark: per-conduit ping-pong latency and
+// bandwidth, one-sided put cost, and the wire price of a worker->worker
+// Exchange on the RMA data plane vs the old rendezvous pair — reported as
+// machine-checkable JSON (BENCH_minimpi.json) so regressions fail CI
+// instead of drifting.
+//
+// Asserted invariant (exit 1 on violation):
+//  - an RMA Exchange puts no more messages on the wire than the rendezvous
+//    Exchange it replaced (today: 4 vs 5 — one-sided writes need no posted
+//    receive and no second completion).
+#include <chrono>
+#include <cstdint>
+#include <cstdio>
+#include <fstream>
 
+#include "bench_util.hpp"
+#include "common/stats.hpp"
+#include "core/data_manager.hpp"
+#include "core/runtime.hpp"
 #include "minimpi/mpi.hpp"
 
 namespace {
 
 using namespace ompc;
-using namespace ompc::mpi;
+using Clock = std::chrono::steady_clock;
 
-void BM_SelfSendRecv(benchmark::State& state) {
-  const std::size_t bytes = static_cast<std::size_t>(state.range(0));
-  Universe u(UniverseOptions{1, {}, 1});
-  Comm comm = u.comm(0);
-  Bytes payload(bytes);
-  Bytes sink(bytes);
-  for (auto _ : state) {
-    comm.isend(payload.data(), bytes, 0, 5);
-    comm.recv(sink.data(), bytes, 0, 5);
-  }
-  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
-                          static_cast<std::int64_t>(bytes));
+double elapsed_us(Clock::time_point t0) {
+  return std::chrono::duration<double, std::micro>(Clock::now() - t0).count();
 }
-BENCHMARK(BM_SelfSendRecv)->Arg(16)->Arg(4096)->Arg(1 << 20);
 
-void BM_PingPongAcrossRanks(benchmark::State& state) {
-  // Two rank threads ping-ponging a small message over the instant network:
-  // measures matching + wakeup cost per hop.
-  const int hops = 1000;
-  for (auto _ : state) {
-    Universe::launch(UniverseOptions{2, {}, 1}, [&](RankContext& ctx) {
-      Comm comm = ctx.world();
-      std::uint64_t token = 1;
-      for (int h = 0; h < hops; ++h) {
+mpi::UniverseOptions pair_opts(mpi::ConduitKind kind) {
+  mpi::UniverseOptions o;
+  o.ranks = 2;
+  o.conduit = kind;
+  return o;
+}
+
+/// One-way latency (us) of a small-message ping-pong over `kind`.
+double pingpong_us(mpi::ConduitKind kind) {
+  constexpr int kWarmup = 100;
+  constexpr int kHops = 2000;
+  constexpr mpi::Tag kTag = 20;
+  double us = 0.0;
+  mpi::Universe::launch(pair_opts(kind), [&](mpi::RankContext& ctx) {
+    mpi::Comm comm = ctx.world();
+    std::uint64_t token = 1;
+    const auto bounce = [&](int rounds) {
+      for (int i = 0; i < rounds; ++i) {
         if (ctx.rank() == 0) {
-          comm.send(&token, sizeof token, 1, 3);
-          comm.recv(&token, sizeof token, 1, 4);
+          comm.send(&token, sizeof token, 1, kTag);
+          comm.recv(&token, sizeof token, 1, kTag + 1);
         } else {
-          comm.recv(&token, sizeof token, 0, 3);
-          comm.send(&token, sizeof token, 0, 4);
+          comm.recv(&token, sizeof token, 0, kTag);
+          comm.send(&token, sizeof token, 0, kTag + 1);
         }
       }
-    });
-  }
-  state.SetItemsProcessed(state.iterations() * hops * 2);
+    };
+    bounce(kWarmup);
+    comm.barrier();
+    const auto t0 = Clock::now();
+    bounce(kHops);
+    if (ctx.rank() == 0) us = elapsed_us(t0) / (2.0 * kHops);
+  });
+  return us;
 }
-BENCHMARK(BM_PingPongAcrossRanks)->Unit(benchmark::kMillisecond);
 
-void BM_UnexpectedQueueScan(benchmark::State& state) {
-  // Worst-case matching: N unexpected messages with distinct tags, receive
-  // them in reverse order (each recv scans the queue).
-  const int n = static_cast<int>(state.range(0));
-  Universe u(UniverseOptions{1, {}, 1});
-  Comm comm = u.comm(0);
-  std::uint64_t v = 7;
-  std::uint64_t sink = 0;
-  for (auto _ : state) {
-    for (int i = 0; i < n; ++i) comm.isend(&v, sizeof v, 0, 100 + i);
-    for (int i = n - 1; i >= 0; --i)
-      comm.recv(&sink, sizeof sink, 0, 100 + i);
-  }
-  state.SetItemsProcessed(state.iterations() * n);
+/// Streaming bandwidth (MB/s) of 1 MiB messages over `kind`. The sender
+/// drains through a trailing ack so eager submission cannot shortcut the
+/// measurement.
+double stream_MBps(mpi::ConduitKind kind) {
+  constexpr std::size_t kBytes = 1 << 20;
+  constexpr int kMsgs = 64;
+  constexpr mpi::Tag kTag = 24;
+  double mbps = 0.0;
+  mpi::Universe::launch(pair_opts(kind), [&](mpi::RankContext& ctx) {
+    mpi::Comm comm = ctx.world();
+    Bytes buf(kBytes, std::byte{0x42});
+    comm.barrier();
+    if (ctx.rank() == 0) {
+      const auto t0 = Clock::now();
+      for (int i = 0; i < kMsgs; ++i) comm.send(buf.data(), kBytes, 1, kTag);
+      std::uint64_t done = 0;
+      comm.recv(&done, sizeof done, 1, kTag + 1);
+      mbps = static_cast<double>(kMsgs) * static_cast<double>(kBytes) /
+             elapsed_us(t0);  // bytes/us == MB/s
+    } else {
+      for (int i = 0; i < kMsgs; ++i) comm.recv(buf.data(), kBytes, 0, kTag);
+      const std::uint64_t done = 1;
+      comm.send(&done, sizeof done, 0, kTag + 1);
+    }
+  });
+  return mbps;
 }
-BENCHMARK(BM_UnexpectedQueueScan)->Arg(16)->Arg(128)->Arg(1024);
 
-void BM_Barrier(benchmark::State& state) {
-  const int ranks = static_cast<int>(state.range(0));
-  const int rounds = 100;
-  for (auto _ : state) {
-    Universe::launch(UniverseOptions{ranks, {}, 1}, [&](RankContext& ctx) {
-      Comm comm = ctx.world();
-      for (int i = 0; i < rounds; ++i) comm.barrier();
-    });
-  }
-  state.SetItemsProcessed(state.iterations() * rounds);
+/// Completion latency (us) of a small one-sided put over `kind`.
+double put_us(mpi::ConduitKind kind) {
+  constexpr int kWarmup = 50;
+  constexpr int kOps = 1000;
+  double us = 0.0;
+  mpi::Universe::launch(pair_opts(kind), [&](mpi::RankContext& ctx) {
+    mpi::Comm comm = ctx.world();
+    if (ctx.rank() == 1) {
+      std::uint64_t cell = 0;
+      mpi::Window win = comm.win_create(1, &cell, sizeof cell);
+      comm.barrier();  // window is up
+      comm.barrier();  // origin is done
+    } else {
+      comm.barrier();
+      std::uint64_t v = 7;
+      for (int i = 0; i < kWarmup; ++i)
+        comm.put(1, 1, 0, mpi::Payload::copy_of(&v, sizeof v)).wait();
+      const auto t0 = Clock::now();
+      for (int i = 0; i < kOps; ++i)
+        comm.put(1, 1, 0, mpi::Payload::copy_of(&v, sizeof v)).wait();
+      us = elapsed_us(t0) / kOps;
+      comm.barrier();
+    }
+  });
+  return us;
 }
-BENCHMARK(BM_Barrier)->Arg(2)->Arg(8)->Arg(32)->Unit(benchmark::kMillisecond);
 
-void BM_BcastBinomial(benchmark::State& state) {
-  const int ranks = 8;
-  const std::size_t bytes = static_cast<std::size_t>(state.range(0));
-  const int rounds = 50;
-  for (auto _ : state) {
-    Universe::launch(UniverseOptions{ranks, {}, 1}, [&](RankContext& ctx) {
-      Comm comm = ctx.world();
-      Bytes buf(bytes);
-      for (int i = 0; i < rounds; ++i)
-        comm.bcast(buf.data(), bytes, 0);
-    });
-  }
-  state.SetItemsProcessed(state.iterations() * rounds);
+/// Wire messages of one worker->worker Exchange under the given data plane:
+/// a buffer is produced on worker 1, then demanded by worker 2; the delta
+/// of Universe::messages_sent around the second prepare_args is exactly the
+/// Exchange protocol cost.
+std::int64_t exchange_messages(core::DataPlane plane) {
+  core::ClusterOptions opts;
+  opts.num_workers = 2;
+  opts.network = {};
+  opts.data_plane = plane;
+  mpi::UniverseOptions uopts;
+  uopts.ranks = opts.ranks();
+  uopts.comms = 1 + opts.vci;
+  std::int64_t delta = 0;
+  mpi::Universe universe(uopts);
+  universe.run([&](mpi::RankContext& ctx) {
+    if (ctx.rank() == 0) {
+      core::EventSystem events(ctx, opts, nullptr, nullptr);
+      core::DataManager dm(events, opts);
+      std::vector<std::uint64_t> buf(64, 9);
+      dm.register_buffer(buf.data(), buf.size() * sizeof(std::uint64_t));
+      const void* args[] = {buf.data()};
+      dm.prepare_args(1, args);
+      dm.after_write(1, {omp::inout(buf.data())});
+      const std::int64_t before = universe.messages_sent();
+      dm.prepare_args(2, args);  // worker 1 -> worker 2
+      delta = universe.messages_sent() - before;
+      if (dm.stats().exchanges.load() != 1) {
+        std::fprintf(stderr, "VALIDATION FAILED: expected 1 exchange\n");
+        std::exit(1);
+      }
+      dm.cleanup_all();
+      events.shutdown_cluster();
+    } else {
+      core::WorkerMemory memory(&ctx.universe(), ctx.rank());
+      omp::TaskRuntime pool(1);
+      core::EventSystem events(ctx, opts, &memory, &pool);
+      events.wait_until_stopped();
+    }
+  });
+  return delta;
 }
-BENCHMARK(BM_BcastBinomial)->Arg(64)->Arg(65536)->Unit(benchmark::kMillisecond);
+
+struct ConduitNumbers {
+  RunningStats pingpong_us;
+  RunningStats stream_MBps;
+  RunningStats put_us;
+};
 
 }  // namespace
 
-BENCHMARK_MAIN();
+int main() {
+  const int reps = ompc::bench::repetitions();
+  const mpi::ConduitKind kinds[] = {mpi::ConduitKind::InProcess,
+                                    mpi::ConduitKind::Shm};
+
+  std::printf("=== micro_minimpi: transport conduits (%d reps) ===\n", reps);
+  if (const char* env = std::getenv("OMPC_CONDUIT"))
+    std::printf("note: OMPC_CONDUIT=%s overrides both rows\n", env);
+
+  ConduitNumbers rows[2];
+  for (int k = 0; k < 2; ++k) {
+    for (int rep = 0; rep < reps; ++rep) {
+      rows[k].pingpong_us.add(pingpong_us(kinds[k]));
+      rows[k].stream_MBps.add(stream_MBps(kinds[k]));
+      rows[k].put_us.add(put_us(kinds[k]));
+    }
+    std::printf(
+        "%-10s ping-pong %7.2f +- %.2f us   stream %8.1f MB/s   "
+        "put %7.2f us\n",
+        mpi::to_string(kinds[k]), rows[k].pingpong_us.mean(),
+        rows[k].pingpong_us.stddev(), rows[k].stream_MBps.mean(),
+        rows[k].put_us.mean());
+  }
+
+  const std::int64_t msgs_rma = exchange_messages(core::DataPlane::Rma);
+  const std::int64_t msgs_rdv = exchange_messages(core::DataPlane::Rendezvous);
+  std::printf("exchange wire messages : %lld RMA vs %lld rendezvous\n",
+              static_cast<long long>(msgs_rma),
+              static_cast<long long>(msgs_rdv));
+
+  {
+    std::ofstream json("BENCH_minimpi.json");
+    json << "{\n"
+         << "  \"bench\": \"micro_minimpi\",\n"
+         << "  \"reps\": " << reps << ",\n";
+    for (int k = 0; k < 2; ++k) {
+      const char* name = mpi::to_string(kinds[k]);
+      json << "  \"" << name
+           << "_pingpong_us\": " << rows[k].pingpong_us.mean() << ",\n"
+           << "  \"" << name
+           << "_stream_MBps\": " << rows[k].stream_MBps.mean() << ",\n"
+           << "  \"" << name << "_put_us\": " << rows[k].put_us.mean()
+           << ",\n";
+    }
+    json << "  \"exchange_messages_rma\": " << msgs_rma << ",\n"
+         << "  \"exchange_messages_rendezvous\": " << msgs_rdv << "\n"
+         << "}\n";
+  }
+  std::printf("wrote BENCH_minimpi.json\n");
+
+  // --- hard gate (CI fails on regression) --------------------------------
+  if (msgs_rma > msgs_rdv) {
+    std::fprintf(stderr,
+                 "FAIL: RMA exchange costs %lld wire messages, rendezvous "
+                 "%lld (want RMA <= rendezvous) — the one-sided data plane "
+                 "regressed into extra round trips\n",
+                 static_cast<long long>(msgs_rma),
+                 static_cast<long long>(msgs_rdv));
+    return 1;
+  }
+  return 0;
+}

@@ -98,10 +98,11 @@ void CheckpointStore::capture_on_workers(
     const std::vector<std::size_t>& pending,
     std::span<const mpi::Rank> live_workers) {
   // A dirty buffer whose freshest copy sits on a worker is snapshotted in
-  // place: SnapshotSave makes a device-local shadow (rank-local memcpy,
-  // invisible to every NIC), and in Buddy mode the shadow is replicated to
-  // the owner's ring successor over the direct worker->worker Exchange
-  // path. The head only ships commands — O(metadata) per buffer. The three
+  // place: SnapshotSave makes a device-local shadow (rank-local, invisible
+  // to every NIC), and in Buddy mode the shadow is replicated to the
+  // owner's ring successor — a single one-sided put into the buddy's block
+  // on the RMA data plane, the two-sided Exchange pair on the rendezvous
+  // one. The head only ships commands — O(metadata) per buffer. The three
   // phases below pipeline every buffer's events so capture pays
   // max(transfer), not sum.
   struct Job {
@@ -178,17 +179,29 @@ void CheckpointStore::capture_on_workers(
         j.replica = r.get<offload::TargetPtr>();
         created.push_back({j.buddy, j.replica});
         const Entry& e = fresh[j.idx];
-        const mpi::Tag data_tag = events_->allocate_tag();
-        ArchiveWriter rw;
-        rw.put(ExchangeRecvHeader{j.replica, e.size, j.owner, data_tag});
-        stats_.head_bytes += meta_bytes(rw.size());
-        j.recv_ev = events_->start(j.buddy, EventKind::ExchangeRecv,
-                                   rw.take(), {}, j.owner);
-        ArchiveWriter sw;
-        sw.put(ExchangeSendHeader{j.shadow, e.size, j.buddy, data_tag});
-        stats_.head_bytes += meta_bytes(sw.size());
-        j.send_ev = events_->start(j.owner, EventKind::ExchangeSend,
-                                   sw.take(), {}, j.buddy);
+        if (data_plane_ == DataPlane::Rma) {
+          // One-sided replication: the owner puts its shadow straight into
+          // the buddy's freshly allocated block (registered as a window
+          // under its own address). One event instead of the two-sided
+          // pair; the buddy's event handlers never see the bytes land.
+          ArchiveWriter pw;
+          pw.put(RmaPutHeader{j.shadow, e.size, j.buddy, j.replica, 0});
+          stats_.head_bytes += meta_bytes(pw.size());
+          j.send_ev = events_->start(j.owner, EventKind::RmaPut, pw.take(),
+                                     {}, j.buddy);
+        } else {
+          const mpi::Tag data_tag = events_->allocate_tag();
+          ArchiveWriter rw;
+          rw.put(ExchangeRecvHeader{j.replica, e.size, j.owner, data_tag});
+          stats_.head_bytes += meta_bytes(rw.size());
+          j.recv_ev = events_->start(j.buddy, EventKind::ExchangeRecv,
+                                     rw.take(), {}, j.owner);
+          ArchiveWriter sw;
+          sw.put(ExchangeSendHeader{j.shadow, e.size, j.buddy, data_tag});
+          stats_.head_bytes += meta_bytes(sw.size());
+          j.send_ev = events_->start(j.owner, EventKind::ExchangeSend,
+                                     sw.take(), {}, j.buddy);
+        }
       }
     }
     // Phase C: the replicas land; only now may entries reference them.

@@ -68,10 +68,14 @@ class CheckpointStore {
   /// ablation baseline).
   CheckpointStore() = default;
 
-  /// `events` may be null, which forces Head locality.
-  CheckpointStore(EventSystem* events, CheckpointLocality locality)
+  /// `events` may be null, which forces Head locality. `data_plane` picks
+  /// how buddy replicas travel: one RmaPut into the buddy's registered
+  /// block (default) or the two-sided Exchange pair (ablation baseline).
+  CheckpointStore(EventSystem* events, CheckpointLocality locality,
+                  DataPlane data_plane = DataPlane::Rma)
       : events_(events),
-        locality_(events == nullptr ? CheckpointLocality::Head : locality) {}
+        locality_(events == nullptr ? CheckpointLocality::Head : locality),
+        data_plane_(data_plane) {}
 
   /// Whether a snapshot exists to roll back to.
   bool has_checkpoint() const noexcept { return have_; }
@@ -152,6 +156,7 @@ class CheckpointStore {
 
   EventSystem* events_ = nullptr;
   CheckpointLocality locality_ = CheckpointLocality::Head;
+  DataPlane data_plane_ = DataPlane::Rma;
 
   std::vector<Entry> entries_;
   std::int64_t wave_ = -1;

@@ -122,7 +122,22 @@ offload::TargetPtr DataManager::ensure_on(mpi::Rank worker, BufferState& b) {
   // would sleep on the cv forever and deadlock dispatch.
   try {
   const offload::TargetPtr dst = alloc_on(worker, b);
-  if (src >= 0 && opts_.forwarding == Forwarding::Direct) {
+  if (src >= 0 && opts_.forwarding == Forwarding::Direct &&
+      opts_.data_plane == DataPlane::Rma) {
+    // §4.3 direct forwarding over the one-sided data plane: a single
+    // RmaPut event tells the producer to put straight into the consumer's
+    // freshly allocated block (its window id is its address). One event +
+    // one put where the rendezvous pair needs two events and a matched
+    // send/recv — and the consumer's event handlers never run.
+    const offload::TargetPtr src_ptr = [&] {
+      std::lock_guard<std::mutex> lock(b.lock);
+      return b.addr.at(src);
+    }();
+    ArchiveWriter w;
+    w.put(RmaPutHeader{src_ptr, b.size, worker, dst, 0});
+    events_.start(src, EventKind::RmaPut, w.take(), {}, worker)->wait();
+    stats_.exchanges.fetch_add(1, std::memory_order_relaxed);
+  } else if (src >= 0 && opts_.forwarding == Forwarding::Direct) {
     // §4.3: direct worker->worker forwarding commanded by the head. Both
     // halves share one payload tag; post the receive half first.
     const offload::TargetPtr src_ptr = [&] {

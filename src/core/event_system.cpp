@@ -6,7 +6,6 @@
 
 #include "common/check.hpp"
 #include "core/fault.hpp"
-#include "minimpi/universe.hpp"
 #include "common/log.hpp"
 #include "common/time.hpp"
 
@@ -26,27 +25,57 @@ const char* to_string(EventKind k) {
     case EventKind::SnapshotSave: return "SnapshotSave";
     case EventKind::SnapshotDrop: return "SnapshotDrop";
     case EventKind::SnapshotFetch: return "SnapshotFetch";
+    case EventKind::RmaPut: return "RmaPut";
   }
   return "?";
 }
 
 // --- WorkerMemory --------------------------------------------------------
 
+WorkerMemory::~WorkerMemory() {
+  if (universe_ == nullptr) return;
+  std::lock_guard<std::mutex> lock(mutex_);
+  for (const auto& [tp, blk] : live_) {
+    (void)blk;
+    universe_->windows().destroy(rank_, tp);
+  }
+}
+
 offload::TargetPtr WorkerMemory::alloc(std::size_t size) {
   const std::size_t n = size == 0 ? 1 : size;
   std::shared_ptr<std::byte[]> mem(new std::byte[n]);
   const auto tp = reinterpret_cast<offload::TargetPtr>(mem.get());
-  std::lock_guard<std::mutex> lock(mutex_);
-  live_.emplace(tp, Block{std::move(mem), n});
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    live_.emplace(tp, Block{std::move(mem), n});
+  }
+  // Eager window registration: every live block is a put/get target under
+  // its own address, so a producer can write a consumer's block without
+  // any per-transfer registration handshake.
+  if (universe_ != nullptr) register_window(tp);
   return tp;
 }
 
 void WorkerMemory::free(offload::TargetPtr ptr) {
   // The map entry drops; the block itself lives on while any in-flight
-  // payload still shares it.
+  // payload still shares it. The window goes with the map entry: a put
+  // racing the free is dropped at delivery (and still acked), exactly like
+  // a payload arriving for a cancelled receive.
+  if (universe_ != nullptr) universe_->windows().destroy(rank_, ptr);
   std::lock_guard<std::mutex> lock(mutex_);
   OMPC_CHECK_MSG(live_.erase(ptr) == 1,
                  "worker double free of device ptr " << ptr);
+}
+
+void WorkerMemory::register_window(offload::TargetPtr ptr) {
+  std::size_t n = 0;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    const auto it = live_.find(ptr);
+    OMPC_CHECK_MSG(it != live_.end(), "window for unknown device ptr " << ptr);
+    n = it->second.size;
+  }
+  universe_->windows().create(rank_, ptr, reinterpret_cast<void*>(ptr), n);
 }
 
 mpi::Payload WorkerMemory::share(offload::TargetPtr ptr,
@@ -64,7 +93,7 @@ mpi::Payload WorkerMemory::share(offload::TargetPtr ptr,
 
 offload::TargetPtr WorkerMemory::snapshot(offload::TargetPtr src,
                                           std::size_t size) {
-  std::lock_guard<std::mutex> lock(mutex_);
+  std::unique_lock<std::mutex> lock(mutex_);
   const auto it = live_.find(src);
   OMPC_CHECK_MSG(it != live_.end(), "snapshot of unknown device ptr " << src);
   OMPC_CHECK_MSG(size <= it->second.size,
@@ -75,6 +104,8 @@ offload::TargetPtr WorkerMemory::snapshot(offload::TargetPtr src,
   std::memcpy(mem.get(), it->second.mem.get(), size);
   const auto tp = reinterpret_cast<offload::TargetPtr>(mem.get());
   live_.emplace(tp, Block{std::move(mem), n});
+  lock.unlock();
+  if (universe_ != nullptr) register_window(tp);
   return tp;
 }
 
@@ -167,8 +198,7 @@ EventSystem::~EventSystem() {
     EventAnnounce bye;
     bye.kind = EventKind::Shutdown;
     bye.origin = rank_;
-    const Bytes msg = bye.serialize();
-    control_.send(msg.data(), msg.size(), rank_, kTagNewEvent);
+    control_.isend_bytes(bye.serialize(), rank_, kTagNewEvent);
   }
   gate_.join();
   for (auto& h : handlers_) h.join();
@@ -214,8 +244,7 @@ OriginEventPtr EventSystem::start(mpi::Rank dest, EventKind kind, Bytes header,
   a.tag = tag;
   a.origin = rank_;
   a.header = std::move(header);
-  const Bytes msg = a.serialize();
-  control_.send(msg.data(), msg.size(), dest, kTagNewEvent);
+  control_.isend_bytes(a.serialize(), dest, kTagNewEvent);
   return ev;
 }
 
@@ -246,8 +275,7 @@ OriginEventPtr EventSystem::start_retrieve(mpi::Rank dest,
   a.tag = tag;
   a.origin = rank_;
   a.header = w.take();
-  const Bytes msg = a.serialize();
-  control_.send(msg.data(), msg.size(), dest, kTagNewEvent);
+  control_.isend_bytes(a.serialize(), dest, kTagNewEvent);
   return ev;
 }
 
@@ -294,7 +322,7 @@ void EventSystem::announce_rank_dead(mpi::Rank dead) {
   const int n = control_.size();
   for (mpi::Rank r = 0; r < n; ++r) {
     if (r == rank_ || is_rank_dead(r)) continue;
-    control_.send(msg.data(), msg.size(), r, kTagNewEvent);
+    control_.isend_bytes(Bytes(msg), r, kTagNewEvent);
   }
 }
 
@@ -341,8 +369,7 @@ void EventSystem::shutdown_cluster() {
   bye.kind = EventKind::Shutdown;
   bye.origin = rank_;
   bye.tag = 0;
-  const Bytes msg = bye.serialize();
-  control_.send(msg.data(), msg.size(), rank_, kTagNewEvent);
+  control_.isend_bytes(bye.serialize(), rank_, kTagNewEvent);
   wait_until_stopped();
 }
 
@@ -461,8 +488,7 @@ void EventSystem::send_completion(mpi::Rank to, mpi::Tag tag, Bytes result) {
   EventCompletion c;
   c.tag = tag;
   c.result = std::move(result);
-  const Bytes msg = c.serialize();
-  control_.send(msg.data(), msg.size(), to, kTagComplete);
+  control_.isend_bytes(c.serialize(), to, kTagComplete);
 }
 
 bool EventSystem::progress(RemoteEvent& ev) {
@@ -510,7 +536,19 @@ bool EventSystem::progress(RemoteEvent& ev) {
     case EventKind::SnapshotSave: {
       const auto h = header.get<SnapshotSaveHeader>();
       OMPC_CHECK(memory_ != nullptr);
-      const offload::TargetPtr shadow = memory_->snapshot(h.src, h.size);
+      offload::TargetPtr shadow = 0;
+      if (opts_.data_plane == DataPlane::Rma) {
+        // Allocate the shadow (auto-registered as a window) and fill it
+        // with a rank-local self-put: the same one-sided path the
+        // cross-rank transfers use, delivered inline since src == dst.
+        shadow = memory_->alloc(h.size);
+        data_comm_for(a.tag)
+            .put(rank_, shadow, 0, memory_->share(h.src, h.size),
+                 kTagSnapshotPut)
+            .wait();
+      } else {
+        shadow = memory_->snapshot(h.src, h.size);
+      }
       ArchiveWriter w;
       w.put(shadow);
       send_completion(a.origin, a.tag, w.take());
@@ -520,6 +558,28 @@ bool EventSystem::progress(RemoteEvent& ev) {
       const auto h = header.get<SnapshotDropHeader>();
       OMPC_CHECK(memory_ != nullptr);
       memory_->free(h.ptr);
+      send_completion(a.origin, a.tag, {});
+      return true;
+    }
+    case EventKind::RmaPut: {
+      const auto h = header.get<RmaPutHeader>();
+      OMPC_CHECK(memory_ != nullptr);
+      if (ev.phase == 0) {
+        // One-sided forward: put straight into the peer's registered block.
+        // The payload shares our device memory (zero-copy source); the
+        // request completes when the peer acked the landing.
+        ev.io = data_comm_for(a.tag).put(h.peer, h.win, h.offset,
+                                         memory_->share(h.src, h.size), a.tag);
+        ev.phase = 1;
+      }
+      try {
+        if (!ev.io.test()) return false;
+      } catch (const mpi::RankKilledError& e) {
+        // The peer died mid-put (our own death rethrows to handler_main).
+        // Ack anyway so this event drains; the head has already failed the
+        // origin half, which drops this completion as late.
+        if (e.rank() == rank_) throw;
+      }
       send_completion(a.origin, a.tag, {});
       return true;
     }

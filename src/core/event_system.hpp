@@ -38,8 +38,23 @@ namespace ompc::core {
 /// can send device memory zero-copy: share() pins the block for the life of
 /// the in-flight message, surviving a concurrent Delete event and even this
 /// rank dying with the payload still on the simulated wire.
+///
+/// Constructed with a universe, the heap doubles as the rank's one-sided
+/// exposure: every block is registered as an RMA window under its own
+/// address at alloc() and unregistered at free(), so remote ranks can put
+/// into any live block by (rank, address) with no per-transfer handshake —
+/// the target side of the RmaPut data plane. The universe-less form keeps
+/// the heap usable standalone (unit tests).
 class WorkerMemory {
  public:
+  WorkerMemory() = default;
+  WorkerMemory(mpi::Universe* universe, mpi::Rank rank)
+      : universe_(universe), rank_(rank) {}
+  /// Unregisters any window still live (leftover snapshot shadows, a rank
+  /// unwinding from fault injection) — a put in flight toward them resolves
+  /// to nothing and is dropped at delivery, matching the rank's death.
+  ~WorkerMemory();
+
   offload::TargetPtr alloc(std::size_t size);
   void free(offload::TargetPtr ptr);
 
@@ -55,10 +70,14 @@ class WorkerMemory {
   std::size_t live() const;
 
  private:
+  void register_window(offload::TargetPtr ptr);
+
   struct Block {
     std::shared_ptr<std::byte[]> mem;
     std::size_t size = 0;
   };
+  mpi::Universe* universe_ = nullptr;  ///< null: no window registration
+  mpi::Rank rank_ = -1;
   mutable std::mutex mutex_;
   std::unordered_map<offload::TargetPtr, Block> live_;
 };

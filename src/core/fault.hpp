@@ -12,7 +12,7 @@
 #include <stdexcept>
 #include <string>
 
-#include "minimpi/types.hpp"
+#include "minimpi/mpi.hpp"
 
 namespace ompc::core {
 

@@ -14,7 +14,7 @@
 #include <functional>
 #include <thread>
 
-#include "minimpi/comm.hpp"
+#include "minimpi/mpi.hpp"
 
 namespace ompc::core {
 

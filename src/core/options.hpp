@@ -4,8 +4,7 @@
 #include <cstdint>
 #include <vector>
 
-#include "minimpi/network.hpp"
-#include "minimpi/types.hpp"
+#include "minimpi/mpi.hpp"
 
 namespace ompc::core {
 
@@ -50,6 +49,18 @@ enum class CheckpointLocality {
   Buddy,
 };
 
+/// How bulk buffer bytes travel between ranks (exchange, buddy replicas).
+enum class DataPlane {
+  /// Two-sided baseline: every forward is an ExchangeSend/ExchangeRecv
+  /// event pair rendezvousing on a shared data tag (5 control+data
+  /// messages per forward). Kept for bench/ablation comparison.
+  Rendezvous,
+  /// One-sided: a single RmaPut event; the producer puts straight into the
+  /// consumer's pre-registered window (4 messages per forward, no receive
+  /// handler on the consumer's event path).
+  Rma,
+};
+
 /// Task-to-worker scheduling policy (§4.4 + ablations).
 enum class SchedulerKind {
   Heft,        ///< The paper's HEFT with its two adaptations.
@@ -85,7 +96,13 @@ struct ClusterOptions {
 
   AsyncMode async_mode = AsyncMode::HelperThreads;
   Forwarding forwarding = Forwarding::Direct;
+  DataPlane data_plane = DataPlane::Rma;
   SchedulerKind scheduler = SchedulerKind::Heft;
+
+  /// Transport conduit for the simulated universe (see minimpi/conduit.hpp;
+  /// the OMPC_CONDUIT environment variable overrides this process-wide and
+  /// is validated at Universe construction).
+  mpi::ConduitKind conduit = mpi::ConduitKind::InProcess;
 
   /// Simulated interconnect. Default roughly dilates the paper's EDR
   /// InfiniBand consistently with 1/25-dilated compute: 2 us latency and

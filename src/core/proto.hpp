@@ -12,8 +12,7 @@
 #include <cstdint>
 
 #include "common/serialize.hpp"
-#include "minimpi/payload.hpp"
-#include "minimpi/types.hpp"
+#include "minimpi/mpi.hpp"
 #include "offload/kernel_registry.hpp"
 #include "offload/plugin.hpp"
 
@@ -40,6 +39,12 @@ enum class EventKind : std::uint8_t {
   SnapshotDrop,   ///< free a shadow (stale generation / post-restore)
   SnapshotFetch,  ///< send shadow bytes to the origin (restore path) —
                   ///< wire-identical to Retrieve, distinct for accounting
+
+  /// One-sided forward: the destination rank puts a local region straight
+  /// into a pre-registered window of `peer` (Comm::put). Replaces the
+  /// ExchangeSend/ExchangeRecv pair on the RMA data plane — one event, no
+  /// receive posted at the peer, the bytes land via the window registry.
+  RmaPut,
 };
 
 const char* to_string(EventKind k);
@@ -47,6 +52,12 @@ const char* to_string(EventKind k);
 /// Control-communicator tags.
 inline constexpr mpi::Tag kTagNewEvent = 1;
 inline constexpr mpi::Tag kTagComplete = 2;
+
+/// Tag for the rank-local self-put that fills a snapshot shadow. A control
+/// tag (below the data-tag boundary) on purpose: the bytes never leave the
+/// rank, so the write must stay out of the wire-copy accounting exactly
+/// like the memcpy it replaced.
+inline constexpr mpi::Tag kTagSnapshotPut = 3;
 
 /// First tag usable by events (small tags are control tags). Anchored to
 /// the minimpi data-tag boundary so payload-copy accounting sees every
@@ -108,6 +119,19 @@ struct ExchangeRecvHeader {
   std::uint64_t size = 0;
   mpi::Rank peer = 0;      ///< source worker rank
   mpi::Tag data_tag = 0;   ///< tag of the payload message
+};
+
+/// RmaPut: the destination rank writes [src, src+size) of its device heap
+/// into window `win` of `peer` at `offset` with a single one-sided put and
+/// completes when the bytes have landed. `win` is the peer's destination
+/// block address (the worker heap registers every block under its own
+/// address — see WorkerMemory).
+struct RmaPutHeader {
+  offload::TargetPtr src = 0;
+  std::uint64_t size = 0;
+  mpi::Rank peer = 0;           ///< target rank of the put
+  offload::TargetPtr win = 0;   ///< peer's window id (= block address)
+  std::uint64_t offset = 0;     ///< byte offset inside the window
 };
 
 /// Execute carries variable-length argument lists, serialized explicitly.

@@ -18,7 +18,7 @@ Runtime::Runtime(const ClusterOptions& opts, EventSystem& events)
       events_(events),
       dm_(events, opts),
       graph_(fresh_graph()),
-      ckpt_(&events, opts.checkpoint_locality) {
+      ckpt_(&events, opts.checkpoint_locality, opts.data_plane) {
   // Scheduler processors map onto this live-worker table; recovery shrinks
   // it, which is how survivors are re-ranked after a failure.
   live_workers_.reserve(static_cast<std::size_t>(opts.num_workers));
@@ -504,6 +504,7 @@ RuntimeStats launch(const ClusterOptions& opts,
   // control + data communicators (+ a dedicated heartbeat ring comm).
   uopts.comms = 1 + opts.vci + (hb_on ? 1 : 0);
   uopts.kills = opts.kills;  // fault injection (§5 testing)
+  uopts.conduit = opts.conduit;
   // The control communicator (context 0) must own a hardware channel no
   // data context aliases onto, or notification latency serializes behind
   // multi-megabyte payload transfers (contexts stripe channel = ctx % n).
@@ -647,7 +648,9 @@ RuntimeStats launch(const ClusterOptions& opts,
       stats.threads_spawned = rs.threads_spawned + ds.threads_spawned.load();
     } else {
       // --- worker node ---
-      WorkerMemory memory;
+      // Universe-aware heap: every device block doubles as an RMA window,
+      // making this worker a put/get target for the one-sided data plane.
+      WorkerMemory memory(&ctx.universe(), ctx.rank());
       omp::TaskRuntime exec_pool(opts.worker_threads);
       EventSystem events(ctx, opts, &memory, &exec_pool);
       // Ring detection on workers: report the dead predecessor to the

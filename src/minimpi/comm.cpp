@@ -100,6 +100,46 @@ void Comm::cancel(const Request& req) const {
   universe_->mailbox(rank_).cancel(req.state());
 }
 
+// --- one-sided (RMA) ---------------------------------------------------
+
+Window Comm::win_create(WindowId id, void* base, std::size_t size) const {
+  universe_->windows().create(rank_, id, base, size);
+  return Window(universe_, rank_, id, size);
+}
+
+Request Comm::put(Rank target, WindowId window, std::uint64_t offset,
+                  Payload payload, Tag tag) const {
+  check_user_tag(tag);
+  Envelope env;
+  env.src = rank_;
+  env.dst = target;
+  env.tag = tag;
+  env.context = context_;
+  env.op = RmaOp::Put;
+  env.window = window;
+  env.offset = offset;
+  env.rma_size = payload.size();
+  env.payload = std::move(payload);
+  return universe_->rma_start(std::move(env));
+}
+
+Request Comm::get(Rank target, WindowId window, std::uint64_t offset,
+                  void* dst, std::size_t n, Tag tag) const {
+  check_user_tag(tag);
+  Envelope env;
+  env.src = rank_;
+  env.dst = target;
+  env.tag = tag;
+  env.context = context_;
+  env.op = RmaOp::Get;
+  env.window = window;
+  env.offset = offset;
+  env.rma_size = n;
+  return universe_->rma_start(std::move(env), static_cast<std::byte*>(dst), n);
+}
+
+void Comm::flush(Rank target) const { universe_->rma_flush(rank_, target); }
+
 // --- collectives -------------------------------------------------------
 //
 // Implemented over the same message path as user traffic so they pay

@@ -1,0 +1,82 @@
+#include "minimpi/conduit.hpp"
+
+#include <atomic>
+#include <cstdlib>
+
+#include "minimpi/shm_conduit.hpp"
+
+namespace ompc::mpi {
+
+const char* to_string(ConduitKind kind) noexcept {
+  switch (kind) {
+    case ConduitKind::InProcess: return "inprocess";
+    case ConduitKind::Shm: return "shm";
+  }
+  return "?";
+}
+
+ConduitKind parse_conduit_name(const std::string& name) {
+  if (name == "inprocess" || name == "in-process")
+    return ConduitKind::InProcess;
+  if (name == "shm" || name == "pshm") return ConduitKind::Shm;
+  throw ConduitError("OMPC_CONDUIT=\"" + name +
+                     "\" is not a known conduit (expected: inprocess, shm)");
+}
+
+ConduitKind resolve_conduit_kind(ConduitKind configured) {
+  const char* env = std::getenv("OMPC_CONDUIT");
+  if (env == nullptr || *env == '\0') return configured;
+  return parse_conduit_name(env);
+}
+
+namespace {
+
+/// The default transport: envelopes are handed off by std::move — zero
+/// serialization, zero copies — through the DeliveryEngine's time-priority
+/// queue (or inline for an instant network, so unit tests run at memory
+/// speed without a delivery thread in the loop).
+class InProcessConduit final : public Conduit {
+ public:
+  InProcessConduit(const NetworkModel& model, DeliverFn deliver)
+      : deliver_(std::move(deliver)) {
+    if (!model.is_instant())
+      engine_ = std::make_unique<DeliveryEngine>(
+          model, [this](Envelope&& env) { deliver_(std::move(env)); });
+  }
+
+  const char* name() const noexcept override { return "inprocess"; }
+
+  void submit(Envelope&& env) override {
+    inline_submitted_.fetch_add(1, std::memory_order_relaxed);
+    if (engine_) {
+      engine_->submit(std::move(env));
+    } else {
+      deliver_(std::move(env));
+    }
+  }
+
+  std::int64_t submitted() const noexcept override {
+    return inline_submitted_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  DeliverFn deliver_;
+  std::unique_ptr<DeliveryEngine> engine_;  ///< null for an instant network
+  std::atomic<std::int64_t> inline_submitted_{0};
+};
+
+}  // namespace
+
+std::unique_ptr<Conduit> make_conduit(ConduitKind kind,
+                                      const NetworkModel& model, int ranks,
+                                      Conduit::DeliverFn deliver) {
+  switch (kind) {
+    case ConduitKind::InProcess:
+      return std::make_unique<InProcessConduit>(model, std::move(deliver));
+    case ConduitKind::Shm:
+      return make_shm_conduit(model, ranks, std::move(deliver));
+  }
+  throw ConduitError("unknown conduit kind");
+}
+
+}  // namespace ompc::mpi

@@ -1,0 +1,81 @@
+// Pluggable transports for the minimpi substrate (GASNet's conduit split).
+//
+// A Conduit owns everything between Universe::post and the destination's
+// delivery callback: staging, pacing against the simulated NetworkModel,
+// and the thread that ultimately hands each Envelope back to the universe.
+// The universe keeps what is transport-independent — matching, liveness,
+// message counting, one-sided windows — so transports can be swapped
+// without touching MPI semantics. Two conduits exist:
+//
+//  - InProcessConduit: today's DeliveryEngine. Envelopes move by std::move,
+//    so borrowed/shared payloads cross rank boundaries with zero copies
+//    (the default, and the one the copy-accounting gates assume).
+//  - ShmConduit: POSIX shm_open/mmap rings in the GASNet-PSHM style; every
+//    envelope is serialized through a shared-memory byte ring and
+//    reassembled on the drain thread (see shm_conduit.hpp).
+//
+// Selection: UniverseOptions::conduit, overridable process-wide with
+// OMPC_CONDUIT=inprocess|shm (resolved and validated at Universe
+// construction; unknown or unavailable conduits fail fast with
+// ConduitError).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <stdexcept>
+#include <string>
+
+#include "minimpi/message.hpp"
+#include "minimpi/network.hpp"
+
+namespace ompc::mpi {
+
+enum class ConduitKind {
+  InProcess,  ///< direct hand-off through the delivery engine (default)
+  Shm,        ///< POSIX shared-memory rings (PSHM style)
+};
+
+const char* to_string(ConduitKind kind) noexcept;
+
+/// Conduit selection or construction failed: unknown OMPC_CONDUIT value, or
+/// the transport is unavailable on this platform/configuration.
+class ConduitError : public std::runtime_error {
+ public:
+  explicit ConduitError(const std::string& what) : std::runtime_error(what) {}
+};
+
+/// Abstract transport. submit() accepts a cross-rank envelope (self-sends
+/// never reach a conduit); the conduit must eventually invoke the delivery
+/// callback exactly once per submitted envelope, honouring the simulated
+/// wire cost and per-link FIFO order. Delivery may happen on the caller's
+/// thread (instant in-process networks) or on a conduit-owned thread.
+class Conduit {
+ public:
+  using DeliverFn = std::function<void(Envelope&&)>;
+
+  virtual ~Conduit() = default;
+
+  virtual const char* name() const noexcept = 0;
+  virtual void submit(Envelope&& env) = 0;
+
+  /// Total envelopes ever submitted (tests/benches).
+  virtual std::int64_t submitted() const noexcept = 0;
+};
+
+/// Parses a conduit name ("inprocess", "shm", plus the aliases
+/// "in-process" and "pshm"). Throws ConduitError for anything else.
+ConduitKind parse_conduit_name(const std::string& name);
+
+/// Applies the OMPC_CONDUIT environment override (when set) to the
+/// configured kind. Throws ConduitError for unrecognized values.
+ConduitKind resolve_conduit_kind(ConduitKind configured);
+
+/// Constructs the requested conduit, or throws ConduitError when the
+/// transport is unavailable (e.g. shm on a platform without POSIX shared
+/// memory). `ranks` sizes per-pair transport state.
+std::unique_ptr<Conduit> make_conduit(ConduitKind kind,
+                                      const NetworkModel& model, int ranks,
+                                      Conduit::DeliverFn deliver);
+
+}  // namespace ompc::mpi

@@ -1,11 +1,16 @@
-// Umbrella header for the minimpi substrate.
+// Umbrella header for the minimpi substrate: the whole conduit-era surface
+// — communicators, transports (conduit.hpp), one-sided windows
+// (window.hpp), matching, payload contracts — in one include. Runtime and
+// test code should include this instead of picking per-file headers.
 #pragma once
 
 #include "minimpi/comm.hpp"      // IWYU pragma: export
+#include "minimpi/conduit.hpp"   // IWYU pragma: export
 #include "minimpi/mailbox.hpp"   // IWYU pragma: export
 #include "minimpi/message.hpp"   // IWYU pragma: export
-#include "minimpi/payload.hpp"   // IWYU pragma: export
 #include "minimpi/network.hpp"   // IWYU pragma: export
+#include "minimpi/payload.hpp"   // IWYU pragma: export
 #include "minimpi/request.hpp"   // IWYU pragma: export
 #include "minimpi/types.hpp"     // IWYU pragma: export
 #include "minimpi/universe.hpp"  // IWYU pragma: export
+#include "minimpi/window.hpp"    // IWYU pragma: export

@@ -6,7 +6,7 @@ namespace ompc::mpi {
 
 DeliveryEngine::DeliveryEngine(NetworkModel model,
                                std::function<void(Envelope&&)> deliver)
-    : model_(model), deliver_(std::move(deliver)) {
+    : pacer_(model), deliver_(std::move(deliver)) {
   thread_ = std::thread([this] {
     log::set_thread_label("net");
     engine_main();
@@ -23,20 +23,8 @@ DeliveryEngine::~DeliveryEngine() {
 }
 
 void DeliveryEngine::submit(Envelope&& env) {
-  const TimePoint now = Clock::now();
-  const auto wire = std::chrono::nanoseconds(
-      model_.transfer_ns(env.payload.size()));
-
+  const TimePoint due = pacer_.due_for(env);
   std::lock_guard<std::mutex> lock(mutex_);
-  // Serialize transfers that share a link: the message occupies the wire
-  // from max(now, link free) for its full transfer time. This is what makes
-  // message storms (e.g. charmlike's per-edge traffic) actually cost time.
-  const LinkKey key{env.src, env.dst, env.channel};
-  TimePoint& busy_until = link_busy_until_[key];
-  const TimePoint start = std::max(now, busy_until);
-  const TimePoint due = start + wire;
-  busy_until = due;
-
   queue_.push(Pending{due, next_seq_++, std::move(env)});
   ++submitted_;
   cv_.notify_one();

@@ -10,6 +10,10 @@
 // Delivery runs on a dedicated engine thread ordered by a time-priority
 // queue. An instant network (zero latency, infinite bandwidth) bypasses the
 // engine entirely so unit tests run at memory speed.
+//
+// The cost model (NetworkModel + LinkPacer) is transport-independent: every
+// conduit (conduit.hpp) prices messages through the same pacer, so swapping
+// transports never changes the simulated wire.
 #pragma once
 
 #include <condition_variable>
@@ -59,6 +63,42 @@ struct NetworkModel {
   }
 };
 
+/// Computes simulated delivery deadlines: a message occupies its
+/// (src, dst, channel) link from max(now, link free) for its full transfer
+/// time, which is what makes message storms actually cost time. Shared by
+/// every conduit so the cost model is identical across transports.
+/// Thread-safe.
+class LinkPacer {
+ public:
+  explicit LinkPacer(NetworkModel model) : model_(model) {}
+
+  /// Delivery deadline for `env` — also marks the link busy until then.
+  TimePoint due_for(const Envelope& env) {
+    const TimePoint now = Clock::now();
+    const auto wire =
+        std::chrono::nanoseconds(model_.transfer_ns(env.payload.size()));
+    const LinkKey key{env.src, env.dst, env.channel};
+    std::lock_guard<std::mutex> lock(mutex_);
+    TimePoint& busy_until = link_busy_until_[key];
+    const TimePoint start = std::max(now, busy_until);
+    const TimePoint due = start + wire;
+    busy_until = due;
+    return due;
+  }
+
+ private:
+  struct LinkKey {
+    Rank src;
+    Rank dst;
+    int channel;
+    auto operator<=>(const LinkKey&) const = default;
+  };
+
+  NetworkModel model_;
+  std::mutex mutex_;
+  std::map<LinkKey, TimePoint> link_busy_until_;
+};
+
 /// Delayed-delivery engine. `deliver` is invoked on the engine thread once a
 /// message's simulated wire time has elapsed.
 class DeliveryEngine {
@@ -88,22 +128,15 @@ class DeliveryEngine {
       return a.due != b.due ? a.due > b.due : a.seq > b.seq;
     }
   };
-  struct LinkKey {
-    Rank src;
-    Rank dst;
-    int channel;
-    auto operator<=>(const LinkKey&) const = default;
-  };
 
   void engine_main();
 
-  NetworkModel model_;
+  LinkPacer pacer_;
   std::function<void(Envelope&&)> deliver_;
 
   mutable std::mutex mutex_;
   std::condition_variable cv_;
   std::priority_queue<Pending, std::vector<Pending>, Later> queue_;
-  std::map<LinkKey, TimePoint> link_busy_until_;
   std::int64_t next_seq_ = 0;
   std::int64_t submitted_ = 0;
   bool stop_ = false;

@@ -1,0 +1,39 @@
+// POSIX shared-memory conduit (GASNet-PSHM style).
+//
+// One shm_open/mmap segment holds a grid of ranks x ranks byte rings, one
+// per (src, dst) pair. submit() serializes the envelope — fixed header then
+// payload bytes — into the destination ring, chunking through the bounded
+// ring when the payload exceeds free space (so arbitrarily large messages
+// cross a fixed-size segment, the way PSHM bounce buffers do). A drain
+// thread reassembles records into owned-payload envelopes, holds them until
+// their simulated wire deadline (the same LinkPacer pricing as the
+// in-process conduit), and delivers in per-link FIFO order.
+//
+// The segment is unlinked immediately after mmap, so no name leaks even on
+// crash; the rings are exercised in-process (all ranks are threads of one
+// process), which is exactly the GASNet-PSHM situation of co-located
+// processes sharing a node — minus a second process, so CTest needs no
+// multi-process harness. Coordination (producer mutexes, the drain wakeup)
+// uses in-process primitives; a true multi-process deployment would move
+// those onto futexes in the segment.
+//
+// Copy honesty: unlike the in-process conduit's zero-copy std::move
+// hand-off, the shm data plane costs two extra counted copies per transfer
+// (stage into the ring, ring -> owned payload) on top of the delivery fill.
+// Copy-sensitive tests and gates therefore pin or assume the in-process
+// conduit; see the README "Transports" section for the trade-off.
+#pragma once
+
+#include <memory>
+
+#include "minimpi/conduit.hpp"
+
+namespace ompc::mpi {
+
+/// Builds the shm conduit, or throws ConduitError when POSIX shared memory
+/// is unavailable on this platform (the segment cannot be created).
+std::unique_ptr<Conduit> make_shm_conduit(const NetworkModel& model,
+                                          int ranks,
+                                          Conduit::DeliverFn deliver);
+
+}  // namespace ompc::mpi

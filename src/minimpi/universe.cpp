@@ -1,6 +1,7 @@
 #include "minimpi/universe.hpp"
 
 #include <algorithm>
+#include <cstring>
 #include <exception>
 #include <string>
 #include <thread>
@@ -27,11 +28,13 @@ Universe::Universe(const UniverseOptions& opts)
   dead_ = std::make_unique<std::atomic<bool>[]>(
       static_cast<std::size_t>(std::max(1, opts_.ranks)));
   for (int r = 0; r < opts_.ranks; ++r) dead_[static_cast<std::size_t>(r)] = false;
-  if (!opts_.network.is_instant()) {
-    engine_ = std::make_unique<DeliveryEngine>(
-        opts_.network,
-        [this](Envelope&& env) { mailbox(env.dst).deliver(std::move(env)); });
-  }
+  // Transport selection is validated here, construction time, so an unknown
+  // OMPC_CONDUIT value or an unavailable transport fails loudly before any
+  // rank runs (both throw ConduitError with an actionable message).
+  conduit_kind_ = resolve_conduit_kind(opts_.conduit);
+  conduit_ = make_conduit(
+      conduit_kind_, opts_.network, opts_.ranks,
+      [this](Envelope&& env) { deliver_envelope(std::move(env)); });
 }
 
 Universe::~Universe() = default;
@@ -44,6 +47,10 @@ void Universe::execute_kill(Rank r) {
     return;
   OMPC_LOG_WARN("fault injection: killing rank " << r);
   mailbox(r).poison(r);
+  // One-sided ops are not posted receives, so poisoning cannot reach them:
+  // fail every pending op that originates from or targets the corpse, or
+  // their waiters would block forever.
+  fail_rma_ops_of(r);
 }
 
 void Universe::kill_rank(Rank r, std::int64_t at_ns) {
@@ -152,17 +159,173 @@ void Universe::post(Envelope&& env) {
   OMPC_CHECK(env.dst >= 0 && env.dst < opts_.ranks);
   // A dead rank neither sends nor receives: its traffic vanishes from the
   // wire (messages already in flight when it died are still delivered).
-  if (is_dead(env.src) || is_dead(env.dst)) return;
+  // One-sided initiations cannot vanish silently — their origin is blocked
+  // on the completion — so the pending op fails instead.
+  if (is_dead(env.src) || is_dead(env.dst)) {
+    if (env.op == RmaOp::Put || env.op == RmaOp::Get)
+      rma_fail(env.op_id, is_dead(env.dst) ? env.dst : env.src);
+    return;
+  }
   messages_sent_.fetch_add(1, std::memory_order_relaxed);
   env.channel = env.context % opts_.network.channels;
   // Self-sends never cross the NIC: deliver through the local queue at
   // memory speed (what every MPI implementation and Charm++'s local-message
-  // path do).
-  if (engine_ && env.src != env.dst) {
-    engine_->submit(std::move(env));
+  // path do). Everything else goes through the transport conduit.
+  if (env.src != env.dst) {
+    conduit_->submit(std::move(env));
   } else {
-    mailbox(env.dst).deliver(std::move(env));
+    deliver_envelope(std::move(env));
   }
+}
+
+void Universe::deliver_envelope(Envelope&& env) {
+  switch (env.op) {
+    case RmaOp::None:
+      mailbox(env.dst).deliver(std::move(env));
+      return;
+    case RmaOp::Put: {
+      if (is_dead(env.dst)) return;  // corpse: bytes vanish, op was failed
+      std::byte* p =
+          windows_.resolve(env.dst, env.window, env.offset, env.payload.size());
+      if (p != nullptr) {
+        // The landing copy of a put — the one copy of the (in-process) RMA
+        // data plane, counted like a delivery fill.
+        if (!env.payload.empty()) note_payload_copy(env.tag, env.payload.size());
+        env.payload.copy_to(p);
+      } else {
+        // The window vanished while the put was in flight (target freed the
+        // block, e.g. during recovery). Like a payload whose receive was
+        // cancelled, the bytes are dropped; the ack still completes the
+        // origin so it cannot hang on memory that no longer exists.
+        OMPC_LOG_WARN("put from rank " << env.src << " into unknown window "
+                                       << env.window << " of rank " << env.dst
+                                       << "; bytes dropped");
+      }
+      Envelope ack;
+      ack.src = env.dst;
+      ack.dst = env.src;
+      ack.tag = env.tag;
+      ack.context = env.context;
+      ack.op = RmaOp::PutAck;
+      ack.op_id = env.op_id;
+      post(std::move(ack));
+      return;
+    }
+    case RmaOp::Get: {
+      if (is_dead(env.dst)) return;
+      Envelope reply;
+      reply.src = env.dst;
+      reply.dst = env.src;
+      reply.tag = env.tag;
+      reply.context = env.context;
+      reply.op = RmaOp::GetReply;
+      reply.op_id = env.op_id;
+      const std::byte* p = windows_.resolve(
+          env.dst, env.window, env.offset, static_cast<std::size_t>(env.rma_size));
+      if (p != nullptr) {
+        // Staging copy at the target (gets cannot borrow: the region may be
+        // freed while the reply is in flight). Counted for data tags.
+        if (env.rma_size != 0)
+          note_payload_copy(env.tag, static_cast<std::size_t>(env.rma_size));
+        reply.payload =
+            Payload::copy_of(p, static_cast<std::size_t>(env.rma_size));
+      } else {
+        // Unknown window: reply empty. The origin's Status.count stays 0,
+        // so a caller that checks sees the short read.
+        OMPC_LOG_WARN("get by rank " << env.src << " of unknown window "
+                                     << env.window << " on rank " << env.dst);
+      }
+      post(std::move(reply));
+      return;
+    }
+    case RmaOp::PutAck:
+    case RmaOp::GetReply:
+      rma_complete(std::move(env));
+      return;
+  }
+}
+
+Request Universe::rma_start(Envelope&& env, std::byte* get_dst,
+                            std::size_t get_capacity) {
+  auto state = std::make_shared<detail::RequestState>();
+  state->buffer = get_dst;
+  state->capacity = get_capacity;
+  const std::uint64_t id = next_op_id_.fetch_add(1, std::memory_order_relaxed);
+  env.op_id = id;
+  {
+    std::lock_guard<std::mutex> lock(rma_mutex_);
+    pending_rma_.emplace(id, PendingRma{env.src, env.dst, state});
+  }
+  // post() fails the op (via rma_fail) when either end is already dead, and
+  // execute_kill fails it when one dies while the ack is pending — so the
+  // returned request can never be left hanging.
+  post(std::move(env));
+  return Request(std::move(state));
+}
+
+void Universe::rma_complete(Envelope&& env) {
+  std::shared_ptr<detail::RequestState> state;
+  {
+    std::lock_guard<std::mutex> lock(rma_mutex_);
+    const auto it = pending_rma_.find(env.op_id);
+    if (it == pending_rma_.end()) return;  // op already failed by a kill
+    state = std::move(it->second.state);
+    pending_rma_.erase(it);
+  }
+  std::size_t landed = 0;
+  if (env.op == RmaOp::GetReply && state->buffer != nullptr &&
+      !env.payload.empty()) {
+    landed = std::min(env.payload.size(), state->capacity);
+    // Landing copy into the origin's buffer (the get counterpart of the
+    // put's window write).
+    note_payload_copy(env.tag, landed);
+    std::memcpy(state->buffer, env.payload.data(), landed);
+  }
+  const std::size_t count =
+      env.op == RmaOp::GetReply ? env.payload.size() : landed;
+  state->complete(Status{env.src, env.tag, count});
+}
+
+void Universe::rma_fail(std::uint64_t op_id, Rank dead) {
+  std::shared_ptr<detail::RequestState> state;
+  {
+    std::lock_guard<std::mutex> lock(rma_mutex_);
+    const auto it = pending_rma_.find(op_id);
+    if (it == pending_rma_.end()) return;
+    state = std::move(it->second.state);
+    pending_rma_.erase(it);
+  }
+  state->kill(dead);
+}
+
+void Universe::fail_rma_ops_of(Rank r) {
+  std::vector<std::shared_ptr<detail::RequestState>> victims;
+  {
+    std::lock_guard<std::mutex> lock(rma_mutex_);
+    for (auto it = pending_rma_.begin(); it != pending_rma_.end();) {
+      if (it->second.origin == r || it->second.target == r) {
+        victims.push_back(std::move(it->second.state));
+        it = pending_rma_.erase(it);
+      } else {
+        ++it;
+      }
+    }
+  }
+  for (auto& s : victims) s->kill(r);
+}
+
+void Universe::rma_flush(Rank origin, Rank target) {
+  std::vector<std::shared_ptr<detail::RequestState>> waits;
+  {
+    std::lock_guard<std::mutex> lock(rma_mutex_);
+    for (const auto& [id, op] : pending_rma_) {
+      (void)id;
+      if (op.origin != origin) continue;
+      if (target != kAnySource && op.target != target) continue;
+      waits.push_back(op.state);
+    }
+  }
+  for (auto& s : waits) Request(s).wait();
 }
 
 Mailbox& Universe::mailbox(Rank rank) {

@@ -12,7 +12,7 @@
 #include <string>
 #include <vector>
 
-#include "minimpi/network.hpp"
+#include "minimpi/mpi.hpp"
 
 namespace ompc::taskbench {
 

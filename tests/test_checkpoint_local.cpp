@@ -14,7 +14,7 @@
 #include "core/checkpoint.hpp"
 #include "core/fault.hpp"
 #include "core/runtime.hpp"
-#include "minimpi/universe.hpp"
+#include "minimpi/mpi.hpp"
 #include "offload/kernel_registry.hpp"
 #include "taskbench/kernel.hpp"
 #include "taskbench/runners.hpp"
@@ -178,7 +178,7 @@ struct MiniCluster {
         }
         events.shutdown_cluster();
       } else {
-        WorkerMemory memory;
+        WorkerMemory memory(&ctx.universe(), ctx.rank());
         omp::TaskRuntime pool(1);
         EventSystem events(ctx, opts, &memory, &pool);
         events.wait_until_stopped();

@@ -28,7 +28,7 @@ struct Cluster {
         dm.cleanup_all();
         events.shutdown_cluster();
       } else {
-        WorkerMemory memory;
+        WorkerMemory memory(&ctx.universe(), ctx.rank());
         omp::TaskRuntime pool(1);
         EventSystem events(ctx, opts, &memory, &pool);
         events.wait_until_stopped();

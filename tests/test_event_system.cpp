@@ -33,7 +33,7 @@ void with_cluster(int workers, const std::function<void(EventSystem&)>& body,
       body(events);
       events.shutdown_cluster();
     } else {
-      WorkerMemory memory;
+      WorkerMemory memory(&ctx.universe(), ctx.rank());
       omp::TaskRuntime pool(1);
       EventSystem events(ctx, opts, &memory, &pool);
       events.wait_until_stopped();

@@ -6,7 +6,7 @@
 #include <atomic>
 
 #include "core/heartbeat.hpp"
-#include "minimpi/universe.hpp"
+#include "minimpi/mpi.hpp"
 
 namespace ompc::core {
 namespace {

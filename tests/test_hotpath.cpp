@@ -15,11 +15,23 @@
 #include "core/data_manager.hpp"
 #include "core/helper_pool.hpp"
 #include "core/runtime.hpp"
-#include "minimpi/universe.hpp"
+#include "minimpi/mpi.hpp"
 #include "offload/kernel_registry.hpp"
 
 namespace ompc::core {
 namespace {
+
+// The exact copy counts below assume the zero-copy in-process conduit. The
+// shm conduit genuinely pays two extra copies per cross-rank transfer
+// (ring staging + reassembly), so under OMPC_CONDUIT=shm these counting
+// tests do not apply — the invariant they pin is a property of the
+// in-process data plane, not of every transport.
+#define OMPC_SKIP_IF_NOT_ZERO_COPY_CONDUIT()                                 \
+  do {                                                                       \
+    if (mpi::resolve_conduit_kind(mpi::ConduitKind::InProcess) !=            \
+        mpi::ConduitKind::InProcess)                                         \
+      GTEST_SKIP() << "copy counts assume the zero-copy inprocess conduit";  \
+  } while (0)
 
 // --- Payload semantics ---------------------------------------------------
 
@@ -63,6 +75,7 @@ TEST(Payload, MoveKeepsOwnedDataStable) {
 // --- minimpi-level copy accounting ---------------------------------------
 
 TEST(PayloadCopies, BorrowedDataSendCopiesOnceAtDelivery) {
+  OMPC_SKIP_IF_NOT_ZERO_COPY_CONDUIT();
   mpi::UniverseOptions o;
   o.ranks = 2;
   mpi::Universe u(o);
@@ -144,7 +157,7 @@ struct Cluster {
         dm.cleanup_all();
         events.shutdown_cluster();
       } else {
-        WorkerMemory memory;
+        WorkerMemory memory(&ctx.universe(), ctx.rank());
         omp::TaskRuntime pool(1);
         EventSystem events(ctx, opts, &memory, &pool);
         events.wait_until_stopped();
@@ -157,6 +170,7 @@ struct Cluster {
 };
 
 TEST(DataPlaneCopies, SubmitIsExactlyOneCopy) {
+  OMPC_SKIP_IF_NOT_ZERO_COPY_CONDUIT();
   Cluster c(1);
   c.run([](DataManager& dm, EventSystem&) {
     std::vector<std::uint64_t> buf(512, 11);
@@ -173,6 +187,7 @@ TEST(DataPlaneCopies, SubmitIsExactlyOneCopy) {
 }
 
 TEST(DataPlaneCopies, ExitRetrieveIsExactlyOneCopy) {
+  OMPC_SKIP_IF_NOT_ZERO_COPY_CONDUIT();
   Cluster c(1);
   c.run([](DataManager& dm, EventSystem&) {
     std::uint64_t buf = 7;
@@ -187,6 +202,7 @@ TEST(DataPlaneCopies, ExitRetrieveIsExactlyOneCopy) {
 }
 
 TEST(DataPlaneCopies, DirectForwardIsExactlyOneCopy) {
+  OMPC_SKIP_IF_NOT_ZERO_COPY_CONDUIT();
   Cluster c(2);
   c.run([](DataManager& dm, EventSystem&) {
     std::vector<std::uint64_t> buf(64, 9);
@@ -202,6 +218,7 @@ TEST(DataPlaneCopies, DirectForwardIsExactlyOneCopy) {
 }
 
 TEST(DataPlaneCopies, ViaHeadForwardIsTwoCopies) {
+  OMPC_SKIP_IF_NOT_ZERO_COPY_CONDUIT();
   // The ablation strawman bounces through the head: one retrieve fill into
   // the host buffer + one submit fill into the consumer — still no staging
   // copies on top.
@@ -406,6 +423,7 @@ TEST(PersistentPools, SteadyStateWavesSpawnZeroThreads) {
 }
 
 TEST(PersistentPools, EndToEndSubmitPathIsSingleCopyPerTransfer) {
+  OMPC_SKIP_IF_NOT_ZERO_COPY_CONDUIT();
   // Every data transfer (submit/retrieve/exchange) across the run pays
   // exactly one payload copy: the delivery fill.
   const RuntimeStats s = run_waves(3, 4);

@@ -11,7 +11,7 @@
 
 #include "core/fault.hpp"
 #include "core/runtime.hpp"
-#include "minimpi/universe.hpp"
+#include "minimpi/mpi.hpp"
 #include "taskbench/kernel.hpp"
 #include "taskbench/runners.hpp"
 
