@@ -3,10 +3,12 @@
 #include <algorithm>
 #include <cstring>
 #include <set>
+#include <sstream>
 #include <unordered_map>
 #include <utility>
 
 #include "common/check.hpp"
+#include "common/log.hpp"
 #include "common/time.hpp"
 #include "core/fault.hpp"
 
@@ -46,6 +48,25 @@ std::size_t CheckpointStore::worker_resident_entries() const {
     if (e.data == nullptr && e.owner.rank >= 0) ++n;
   }
   return n;
+}
+
+std::vector<offload::TargetPtr> CheckpointStore::shadows_on(
+    mpi::Rank rank) const {
+  // Both generations AND the parked orphans: anything the store might still
+  // SnapshotDrop later must survive a heap trim, or the drop double-frees.
+  std::vector<offload::TargetPtr> ptrs;
+  const auto collect = [&ptrs, rank](const std::vector<Entry>& entries) {
+    for (const Entry& e : entries) {
+      if (e.owner.rank == rank && e.owner.ptr != 0) ptrs.push_back(e.owner.ptr);
+      if (e.buddy.rank == rank && e.buddy.ptr != 0) ptrs.push_back(e.buddy.ptr);
+    }
+  };
+  collect(entries_);
+  collect(prev_entries_);
+  for (const Shadow& s : orphaned_) {
+    if (s.rank == rank && s.ptr != 0) ptrs.push_back(s.ptr);
+  }
+  return ptrs;
 }
 
 void CheckpointStore::drop_shadows(const std::vector<Shadow>& shadows) {
@@ -289,22 +310,30 @@ void CheckpointStore::capture(DataManager& dm, std::int64_t wave,
     capture_on_workers(dm, fresh, pending, live_workers);
   }
 
-  // Commit: swap the generations, then free every shadow the new entry
-  // list no longer references (plus any parked orphans). All capture
-  // events have settled, so no in-flight exchange can touch these blocks.
+  // Commit: the committed generation is demoted to the retained previous
+  // one, and only the cut dropping out (two boundaries ago) has its shadows
+  // freed — minus anything either newer generation still references (a
+  // clean entry is shared by reference across generations, and orphans are
+  // included too). Retaining one full prior generation lets restore() fall
+  // back a period when a double kill voids a current-generation entry.
   std::set<std::pair<mpi::Rank, offload::TargetPtr>> kept;
-  for (const Entry& e : fresh) {
+  const auto keep = [&kept](const Entry& e) {
     if (e.owner.rank >= 0) kept.emplace(e.owner.rank, e.owner.ptr);
     if (e.buddy.rank >= 0) kept.emplace(e.buddy.rank, e.buddy.ptr);
-  }
+  };
+  for (const Entry& e : fresh) keep(e);
+  for (const Entry& e : entries_) keep(e);
   std::vector<Shadow> stale;
   stale.swap(orphaned_);
-  for (const Entry& e : entries_) {
+  for (const Entry& e : prev_entries_) {
     if (e.owner.rank >= 0 && kept.count({e.owner.rank, e.owner.ptr}) == 0)
       stale.push_back(e.owner);
     if (e.buddy.rank >= 0 && kept.count({e.buddy.rank, e.buddy.ptr}) == 0)
       stale.push_back(e.buddy);
   }
+  prev_entries_ = std::move(entries_);
+  prev_wave_ = wave_;
+  prev_have_ = have_;
   entries_ = std::move(fresh);
   wave_ = wave;
   have_ = true;
@@ -319,6 +348,65 @@ void CheckpointStore::capture(DataManager& dm, std::int64_t wave,
 }
 
 void CheckpointStore::restore(DataManager& dm) {
+  last_restore_degraded_ = false;
+  // Pre-scan: can the current cut be restored in full? A buffer whose
+  // owner AND buddy died since the capture (with no head-resident bytes)
+  // is gone from this generation.
+  std::vector<const Entry*> lost;
+  for (const Entry& e : entries_) {
+    if (!restorable(e)) lost.push_back(&e);
+  }
+  if (!lost.empty()) {
+    bool prev_ok = prev_have_;
+    if (prev_ok) {
+      for (const Entry& e : prev_entries_) {
+        if (!restorable(e)) {
+          prev_ok = false;
+          break;
+        }
+      }
+    }
+    if (!prev_ok) {
+      std::ostringstream msg;
+      msg << "checkpoint snapshot lost: owner and buddy of "
+          << lost.size() << " worker-local snapshot"
+          << (lost.size() == 1 ? "" : "s")
+          << " died in the same checkpoint period and no complete prior "
+             "generation survives; unrecoverable buffers:";
+      for (const Entry* e : lost) {
+        msg << " {host=" << e->host << " size=" << e->size << " owner=r"
+            << e->owner.rank << " buddy=r" << e->buddy.rank << "}";
+      }
+      throw RecoveryError(msg.str());
+    }
+    // Degraded fallback: abandon the voided cut and roll back one more
+    // period. Shadows only the abandoned cut references are parked for the
+    // next quiescent drop.
+    std::set<std::pair<mpi::Rank, offload::TargetPtr>> prev_kept;
+    for (const Entry& e : prev_entries_) {
+      if (e.owner.rank >= 0) prev_kept.emplace(e.owner.rank, e.owner.ptr);
+      if (e.buddy.rank >= 0) prev_kept.emplace(e.buddy.rank, e.buddy.ptr);
+    }
+    for (const Entry& e : entries_) {
+      if (e.owner.rank >= 0 &&
+          prev_kept.count({e.owner.rank, e.owner.ptr}) == 0)
+        orphaned_.push_back(e.owner);
+      if (e.buddy.rank >= 0 &&
+          prev_kept.count({e.buddy.rank, e.buddy.ptr}) == 0)
+        orphaned_.push_back(e.buddy);
+    }
+    entries_ = std::move(prev_entries_);
+    prev_entries_.clear();
+    prev_have_ = false;
+    wave_ = prev_wave_;
+    prev_wave_ = -1;
+    last_restore_degraded_ = true;
+    ++stats_.degraded_restores;
+    OMPC_LOG_WARN("checkpoint: current generation unrecoverable ("
+                  << lost.size()
+                  << " buffers); falling back to the prior boundary (wave "
+                  << wave_ << ")");
+  }
   // Worker-resident fetches are pipelined like capture: start every
   // SnapshotFetch (each lands in its own staging block), then wait and
   // convert — recovery pays max(fetch) across holders, not sum, which is
@@ -346,9 +434,15 @@ void CheckpointStore::restore(DataManager& dm) {
         holder = &e.buddy;
       }
       if (holder == nullptr) {
-        throw RecoveryError(
-            "checkpoint snapshot lost: owner and buddy of a worker-local "
-            "snapshot died in the same checkpoint period");
+        // The pre-scan passed, so a holder died between the scan and this
+        // resolve; surface it like the scan would have.
+        std::ostringstream msg;
+        msg << "checkpoint snapshot lost: owner and buddy of a worker-local "
+               "snapshot died in the same checkpoint period; unrecoverable "
+               "buffer: {host="
+            << e.host << " size=" << e.size << " owner=r" << e.owner.rank
+            << " buddy=r" << e.buddy.rank << "}";
+        throw RecoveryError(msg.str());
       }
       // Stream the shadow to the head — where replay needs it — and keep
       // the bytes: the entry becomes head-resident, so a later failure
@@ -388,14 +482,106 @@ void CheckpointStore::restore(DataManager& dm) {
     orphaned_.insert(orphaned_.end(), drops.begin(), drops.end());
     throw;
   }
+  // Every entry is head-resident now, so the retained prior generation can
+  // never be needed again — free its shadows along with the converted
+  // entries' and any parked orphans. Dedupe first: a clean entry shares its
+  // shadows across generations, and a double drop would double-free.
+  for (const Entry& e : prev_entries_) {
+    if (e.owner.rank >= 0) drops.push_back(e.owner);
+    if (e.buddy.rank >= 0) drops.push_back(e.buddy);
+  }
+  prev_entries_.clear();
+  prev_have_ = false;
+  prev_wave_ = -1;
   drops.insert(drops.end(), orphaned_.begin(), orphaned_.end());
   orphaned_.clear();
-  drop_shadows(drops);
+  std::set<std::pair<mpi::Rank, offload::TargetPtr>> seen;
+  std::vector<Shadow> unique;
+  unique.reserve(drops.size());
+  for (const Shadow& s : drops) {
+    if (seen.emplace(s.rank, s.ptr).second) unique.push_back(s);
+  }
+  drop_shadows(unique);
   // Every checkpointed buffer now holds exactly its captured bytes, so
   // nothing is dirty relative to this snapshot; the replay re-marks what it
   // rewrites.
   dm.mark_all_clean();
   ++stats_.restores;
+}
+
+Bytes CheckpointStore::serialize_state() const {
+  ArchiveWriter w;
+  const auto put_entries = [&w](const std::vector<Entry>& list) {
+    w.put<std::uint64_t>(list.size());
+    for (const Entry& e : list) {
+      w.put<std::uint64_t>(reinterpret_cast<std::uintptr_t>(e.host));
+      w.put<std::uint64_t>(e.size);
+      w.put(e.generation);
+      w.put<std::uint8_t>(e.data != nullptr ? 1 : 0);
+      if (e.data != nullptr)
+        w.put_blob(std::span<const std::byte>(e.data->data(), e.data->size()));
+      w.put(e.owner.rank);
+      w.put(e.owner.ptr);
+      w.put(e.buddy.rank);
+      w.put(e.buddy.ptr);
+    }
+  };
+  w.put<std::uint8_t>(have_ ? 1 : 0);
+  w.put(wave_);
+  w.put(generation_);
+  put_entries(entries_);
+  w.put<std::uint8_t>(prev_have_ ? 1 : 0);
+  w.put(prev_wave_);
+  put_entries(prev_entries_);
+  w.put<std::uint64_t>(orphaned_.size());
+  for (const Shadow& s : orphaned_) {
+    w.put(s.rank);
+    w.put(s.ptr);
+  }
+  w.put_raw(&stats_, sizeof stats_);
+  return w.take();
+}
+
+void CheckpointStore::adopt_state(std::span<const std::byte> data) {
+  ArchiveReader r(data);
+  const auto get_entries = [&r]() {
+    std::vector<Entry> list;
+    const auto n = r.get<std::uint64_t>();
+    list.reserve(n);
+    for (std::uint64_t i = 0; i < n; ++i) {
+      Entry e;
+      e.host = reinterpret_cast<void*>(
+          static_cast<std::uintptr_t>(r.get<std::uint64_t>()));
+      e.size = r.get<std::uint64_t>();
+      e.generation = r.get<std::uint64_t>();
+      if (r.get<std::uint8_t>() != 0)
+        e.data = std::make_shared<const Bytes>(r.get_blob());
+      e.owner.rank = r.get<mpi::Rank>();
+      e.owner.ptr = r.get<offload::TargetPtr>();
+      e.buddy.rank = r.get<mpi::Rank>();
+      e.buddy.ptr = r.get<offload::TargetPtr>();
+      list.push_back(std::move(e));
+    }
+    return list;
+  };
+  have_ = r.get<std::uint8_t>() != 0;
+  wave_ = r.get<std::int64_t>();
+  generation_ = r.get<std::uint64_t>();
+  entries_ = get_entries();
+  prev_have_ = r.get<std::uint8_t>() != 0;
+  prev_wave_ = r.get<std::int64_t>();
+  prev_entries_ = get_entries();
+  orphaned_.clear();
+  const auto norphans = r.get<std::uint64_t>();
+  orphaned_.reserve(norphans);
+  for (std::uint64_t i = 0; i < norphans; ++i) {
+    Shadow s;
+    s.rank = r.get<mpi::Rank>();
+    s.ptr = r.get<offload::TargetPtr>();
+    orphaned_.push_back(s);
+  }
+  r.get_raw(&stats_, sizeof stats_);
+  last_restore_degraded_ = false;
 }
 
 }  // namespace ompc::core

@@ -60,6 +60,7 @@ struct CheckpointStats {
   std::int64_t snapshot_saves = 0;     ///< worker-local shadows created
   std::int64_t snapshot_replicas = 0;  ///< buddy replicas shipped
   std::int64_t snapshot_drops = 0;     ///< stale shadows freed
+  std::int64_t degraded_restores = 0;  ///< fell back to the prior generation
 };
 
 class CheckpointStore {
@@ -98,12 +99,37 @@ class CheckpointStore {
   /// Rolls every checkpointed buffer back: re-registers buffers a DataExit
   /// erased meanwhile, resolves each snapshot from its freshest surviving
   /// holder, and rewrites the host copies. The cluster must be quiescent
-  /// and dead ranks already purged from the Data Manager. Throws
-  /// RecoveryError when a buffer's owner AND buddy died in the same
-  /// checkpoint period with no head entry to fall back on.
+  /// and dead ranks already purged from the Data Manager. When a buffer's
+  /// owner AND buddy died in the same checkpoint period with no head entry
+  /// to fall back on, the store attempts a *degraded* restore of the prior
+  /// generation (retained in full until the next capture commits); only
+  /// when that cut is incomplete too does it throw RecoveryError, naming
+  /// every unrecoverable buffer. After a degraded restore
+  /// last_restore_degraded() is true and wave() reports the prior
+  /// boundary — the caller must replay from there.
   void restore(DataManager& dm);
 
+  /// Whether the last restore() fell back to the prior generation.
+  bool last_restore_degraded() const noexcept {
+    return last_restore_degraded_;
+  }
+
+  /// Head-replication support: flattens the full store state (both
+  /// generations' entries, head-resident bytes included, parked orphans
+  /// and counters) so a promoted head can adopt it.
+  Bytes serialize_state() const;
+  void adopt_state(std::span<const std::byte> data);
+
+  /// Re-homes the event plane after a head failover (the promoted rank's
+  /// event system replaces the dead head's).
+  void rebind(EventSystem* events) { events_ = events; }
+
   const CheckpointStats& stats() const noexcept { return stats_; }
+
+  /// Snapshot shadows (both generations + parked orphans) living on `rank`
+  /// — the blocks a heap trim of that rank must keep so later
+  /// SnapshotDrop/SnapshotFetch events still resolve.
+  std::vector<offload::TargetPtr> shadows_on(mpi::Rank rank) const;
 
   /// Current committed snapshot generation (test hook).
   std::uint64_t generation() const noexcept { return generation_; }
@@ -162,6 +188,14 @@ class CheckpointStore {
   std::int64_t wave_ = -1;
   bool have_ = false;
   std::uint64_t generation_ = 0;
+  /// The generation before the current one, retained in full (its shadows
+  /// are dropped only when the NEXT capture commits) so a double kill that
+  /// voids a current-generation entry can fall back one period instead of
+  /// failing the launch.
+  std::vector<Entry> prev_entries_;
+  std::int64_t prev_wave_ = -1;
+  bool prev_have_ = false;
+  bool last_restore_degraded_ = false;
   /// Shadows whose drop had to be deferred (aborted capture, interrupted
   /// restore): freed at the next quiescent opportunity.
   std::vector<Shadow> orphaned_;

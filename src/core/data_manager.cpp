@@ -9,7 +9,7 @@
 namespace ompc::core {
 
 DataManager::DataManager(EventSystem& events, const ClusterOptions& opts)
-    : events_(events), opts_(opts) {
+    : events_(&events), opts_(opts) {
   const int n = opts_.transfer_threads > 0 ? opts_.transfer_threads
                                            : opts_.cluster_pool_threads();
   transfer_pool_ = std::make_unique<HelperPool>(n, "xfer");
@@ -62,7 +62,7 @@ offload::TargetPtr DataManager::alloc_on(mpi::Rank worker, BufferState& b) {
   }
   ArchiveWriter w;
   w.put(AllocHeader{b.size});
-  const Bytes reply = events_.run(worker, EventKind::Alloc, w.take());
+  const Bytes reply = events_->run(worker, EventKind::Alloc, w.take());
   ArchiveReader r(reply);
   const auto ptr = r.get<offload::TargetPtr>();
   stats_.allocs.fetch_add(1, std::memory_order_relaxed);
@@ -84,7 +84,7 @@ void DataManager::delete_on_locked(mpi::Rank worker, BufferState& b,
   lk.unlock();
   ArchiveWriter w;
   w.put(DeleteHeader{ptr});
-  events_.run(worker, EventKind::Delete, w.take());
+  events_->run(worker, EventKind::Delete, w.take());
   stats_.deletes.fetch_add(1, std::memory_order_relaxed);
   lk.lock();
 }
@@ -135,7 +135,7 @@ offload::TargetPtr DataManager::ensure_on(mpi::Rank worker, BufferState& b) {
     }();
     ArchiveWriter w;
     w.put(RmaPutHeader{src_ptr, b.size, worker, dst, 0});
-    events_.start(src, EventKind::RmaPut, w.take(), {}, worker)->wait();
+    events_->start(src, EventKind::RmaPut, w.take(), {}, worker)->wait();
     stats_.exchanges.fetch_add(1, std::memory_order_relaxed);
   } else if (src >= 0 && opts_.forwarding == Forwarding::Direct) {
     // §4.3: direct worker->worker forwarding commanded by the head. Both
@@ -144,15 +144,15 @@ offload::TargetPtr DataManager::ensure_on(mpi::Rank worker, BufferState& b) {
       std::lock_guard<std::mutex> lock(b.lock);
       return b.addr.at(src);
     }();
-    const mpi::Tag data_tag = events_.allocate_tag();
+    const mpi::Tag data_tag = events_->allocate_tag();
     ArchiveWriter rw;
     rw.put(ExchangeRecvHeader{dst, b.size, src, data_tag});
     auto recv_ev =
-        events_.start(worker, EventKind::ExchangeRecv, rw.take(), {}, src);
+        events_->start(worker, EventKind::ExchangeRecv, rw.take(), {}, src);
     ArchiveWriter sw;
     sw.put(ExchangeSendHeader{src_ptr, b.size, worker, data_tag});
     auto send_ev =
-        events_.start(src, EventKind::ExchangeSend, sw.take(), {}, worker);
+        events_->start(src, EventKind::ExchangeSend, sw.take(), {}, worker);
     send_ev->wait();
     recv_ev->wait();
     stats_.exchanges.fetch_add(1, std::memory_order_relaxed);
@@ -170,7 +170,7 @@ offload::TargetPtr DataManager::ensure_on(mpi::Rank worker, BufferState& b) {
     // which it sends only after the payload landed in its device buffer —
     // so b.host outlives the flight, and fetch_to_head_locked's coalescing
     // keeps anyone from rewriting it meanwhile.
-    events_.run(worker, EventKind::Submit, w.take(),
+    events_->run(worker, EventKind::Submit, w.take(),
                 mpi::Payload::borrow(b.host, b.size));
     stats_.submits.fetch_add(1, std::memory_order_relaxed);
   } else {
@@ -178,7 +178,7 @@ offload::TargetPtr DataManager::ensure_on(mpi::Rank worker, BufferState& b) {
     // above for why borrowing is safe).
     ArchiveWriter w;
     w.put(SubmitHeader{dst, b.size});
-    events_.run(worker, EventKind::Submit, w.take(),
+    events_->run(worker, EventKind::Submit, w.take(),
                 mpi::Payload::borrow(b.host, b.size));
     stats_.submits.fetch_add(1, std::memory_order_relaxed);
   }
@@ -339,7 +339,7 @@ void DataManager::fetch_to_head_locked(BufferState& b,
   b.head_fetching = true;
   lk.unlock();
   try {
-    events_.start_retrieve(src, src_ptr, b.host, b.size)->wait();
+    events_->start_retrieve(src, src_ptr, b.host, b.size)->wait();
   } catch (...) {
     lk.lock();
     b.head_fetching = false;
@@ -474,6 +474,80 @@ void DataManager::restore_buffer(void* host, std::size_t size,
   b->state.clear();
   std::memcpy(host, content.data(), size);
   b->on_head = true;
+}
+
+Bytes DataManager::serialize_registry() const {
+  ArchiveWriter w;
+  std::shared_lock<std::shared_mutex> lock(mutex_);
+  w.put<std::uint64_t>(buffers_.size());
+  for (const auto& [host, b] : buffers_) {
+    (void)host;
+    w.put<std::uint64_t>(reinterpret_cast<std::uintptr_t>(b->host));
+    w.put<std::uint64_t>(b->size);
+  }
+  return w.take();
+}
+
+void DataManager::adopt_registry(std::span<const std::byte> data) {
+  {
+    std::unique_lock<std::shared_mutex> lock(mutex_);
+    buffers_.clear();
+  }
+  ArchiveReader r(data);
+  const auto n = r.get<std::uint64_t>();
+  for (std::uint64_t i = 0; i < n; ++i) {
+    void* host = reinterpret_cast<void*>(
+        static_cast<std::uintptr_t>(r.get<std::uint64_t>()));
+    const auto size = r.get<std::uint64_t>();
+    // Host-resident and dirty, like a fresh registration: the failover
+    // rollback redistributes placement and the next capture re-snapshots.
+    register_buffer(host, size);
+  }
+}
+
+std::size_t DataManager::migrate_buffers(mpi::Rank joiner,
+                                         std::size_t take_every) {
+  if (take_every == 0) take_every = 1;
+  std::vector<BufferState*> all;
+  {
+    std::shared_lock<std::shared_mutex> lock(mutex_);
+    all.reserve(buffers_.size());
+    for (auto& [host, b] : buffers_) {
+      (void)host;
+      all.push_back(b.get());
+    }
+  }
+  std::size_t migrated = 0;
+  std::size_t seen = 0;
+  for (BufferState* b : all) {
+    {
+      // Only worker-resident buffers move; head-resident ones get placed
+      // by the next schedule anyway.
+      std::lock_guard<std::mutex> lk(b->lock);
+      bool worker_valid = false;
+      for (const auto& [r, st] : b->state) {
+        (void)r;
+        if (st == CopyState::Valid) {
+          worker_valid = true;
+          break;
+        }
+      }
+      if (!worker_valid || b->state.count(joiner) != 0) continue;
+    }
+    if (seen++ % take_every != 0) continue;
+    ensure_on(joiner, *b);
+    // The joiner becomes the buffer's only worker replica (its ownership
+    // slice); the old owner's copy is deleted like a write invalidation.
+    std::unique_lock<std::mutex> lk(b->lock);
+    std::vector<mpi::Rank> stale;
+    for (const auto& [r, ptr] : b->addr) {
+      (void)ptr;
+      if (r != joiner) stale.push_back(r);
+    }
+    for (mpi::Rank r : stale) delete_on_locked(r, *b, lk);
+    ++migrated;
+  }
+  return migrated;
 }
 
 void DataManager::mark_dirty(const void* host) {

@@ -149,6 +149,26 @@ class DataManager {
   void restore_buffer(void* host, std::size_t size,
                       std::span<const std::byte> content);
 
+  // --- head failover / elastic membership ------------------------------
+
+  /// Head-replication support: flattens the registry ({host, size} per
+  /// buffer). Placement is deliberately not shipped — a promoted head
+  /// adopts every buffer as host-resident and lets rollback redistribute,
+  /// so its reset_all_to_host() issues no Deletes against state the dead
+  /// head was mid-way through mutating.
+  Bytes serialize_registry() const;
+  void adopt_registry(std::span<const std::byte> data);
+
+  /// Re-homes the event plane after a head failover (the promoted rank's
+  /// event system replaces the dead head's).
+  void rebind(EventSystem* events) { events_ = events; }
+
+  /// Elastic membership: migrates every `take_every`-th worker-resident
+  /// buffer to `joiner` (a direct transfer from the current owner over the
+  /// configured data plane) and makes the joiner its only worker replica —
+  /// the joiner's ownership slice. Returns the number of buffers moved.
+  std::size_t migrate_buffers(mpi::Rank joiner, std::size_t take_every);
+
   // --- dirty-set tracking (incremental checkpoints) --------------------
   //
   // A buffer is dirty when its logical content may have changed since the
@@ -217,7 +237,7 @@ class DataManager {
   /// Marks `host` as written since the last checkpoint.
   void mark_dirty(const void* host);
 
-  EventSystem& events_;
+  EventSystem* events_;
   const ClusterOptions opts_;
 
   mutable std::shared_mutex mutex_;  ///< guards the buffer map itself

@@ -6,6 +6,7 @@
 
 #include "common/check.hpp"
 #include "core/fault.hpp"
+#include "core/membership.hpp"
 #include "common/log.hpp"
 #include "common/time.hpp"
 
@@ -26,6 +27,9 @@ const char* to_string(EventKind k) {
     case EventKind::SnapshotDrop: return "SnapshotDrop";
     case EventKind::SnapshotFetch: return "SnapshotFetch";
     case EventKind::RmaPut: return "RmaPut";
+    case EventKind::HeadState: return "HeadState";
+    case EventKind::TrimHeap: return "TrimHeap";
+    case EventKind::MembershipUpdate: return "MembershipUpdate";
   }
   return "?";
 }
@@ -57,14 +61,27 @@ offload::TargetPtr WorkerMemory::alloc(std::size_t size) {
 }
 
 void WorkerMemory::free(offload::TargetPtr ptr) {
-  // The map entry drops; the block itself lives on while any in-flight
-  // payload still shares it. The window goes with the map entry: a put
-  // racing the free is dropped at delivery (and still acked), exactly like
-  // a payload arriving for a cancelled receive.
+  OMPC_CHECK_MSG(try_free(ptr), "worker double free of device ptr " << ptr);
+}
+
+bool WorkerMemory::try_free(offload::TargetPtr ptr) {
+  // The block must stay alive until the window is gone: destroy() excludes
+  // in-flight landing copies (WindowRegistry fills under its lock), so a
+  // put racing the free either lands before the teardown or is dropped at
+  // delivery (and still acked) — never written into freed memory. Hence
+  // the entry is moved out of the map first and its bytes released only
+  // after destroy() returns; in-flight payloads that share the block keep
+  // it alive longer still.
+  Block doomed;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    const auto it = live_.find(ptr);
+    if (it == live_.end()) return false;
+    doomed = std::move(it->second);
+    live_.erase(it);
+  }
   if (universe_ != nullptr) universe_->windows().destroy(rank_, ptr);
-  std::lock_guard<std::mutex> lock(mutex_);
-  OMPC_CHECK_MSG(live_.erase(ptr) == 1,
-                 "worker double free of device ptr " << ptr);
+  return true;
 }
 
 void WorkerMemory::register_window(offload::TargetPtr ptr) {
@@ -107,6 +124,19 @@ offload::TargetPtr WorkerMemory::snapshot(offload::TargetPtr src,
   lock.unlock();
   if (universe_ != nullptr) register_window(tp);
   return tp;
+}
+
+void WorkerMemory::retain_only(const std::vector<offload::TargetPtr>& keep) {
+  const std::unordered_set<offload::TargetPtr> ks(keep.begin(), keep.end());
+  std::vector<offload::TargetPtr> victims;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    for (const auto& [tp, blk] : live_) {
+      (void)blk;
+      if (ks.count(tp) == 0) victims.push_back(tp);
+    }
+  }
+  for (const offload::TargetPtr tp : victims) free(tp);
 }
 
 std::size_t WorkerMemory::live() const {
@@ -164,12 +194,14 @@ void OriginEvent::fail(mpi::Rank dead) {
 // --- EventSystem ---------------------------------------------------------
 
 EventSystem::EventSystem(mpi::RankContext& ctx, const ClusterOptions& opts,
-                         WorkerMemory* memory, omp::TaskRuntime* exec_pool)
+                         WorkerMemory* memory, omp::TaskRuntime* exec_pool,
+                         ReplicaStore* replica)
     : opts_(opts),
       rank_(ctx.rank()),
       control_(ctx.comm(0)),
       memory_(memory),
-      exec_pool_(exec_pool) {
+      exec_pool_(exec_pool),
+      replica_(replica) {
   OMPC_CHECK_MSG(ctx.universe().options().comms >= 1 + opts.vci,
                  "universe must pre-create 1 control + vci data comms");
   data_comms_.reserve(static_cast<std::size_t>(opts.vci));
@@ -230,6 +262,11 @@ OriginEventPtr EventSystem::start(mpi::Rank dest, EventKind kind, Bytes header,
     if (control_.universe().is_dead(dest)) throw WorkerDiedError(dest);
     if (peer >= 0 && control_.universe().is_dead(peer))
       throw WorkerDiedError(peer);
+    // Self check last: a killed rank's sends vanish silently, so an event
+    // started from a corpse would block forever. This matters during head
+    // failover — the control thread survives kill_rank(head) and must fail
+    // fast on the old head's event system rather than hang in wait().
+    if (control_.universe().is_dead(rank_)) throw WorkerDiedError(rank_);
     origin_events_.emplace(tag, ev);
   }
   stats_.originated.fetch_add(1, std::memory_order_relaxed);
@@ -252,6 +289,9 @@ OriginEventPtr EventSystem::start_retrieve(mpi::Rank dest,
                                            offload::TargetPtr src,
                                            void* dst_host, std::size_t size,
                                            EventKind kind) {
+  // Self check before posting anything: a poisoned mailbox kills posted
+  // receives, and a corpse's notification would vanish anyway.
+  if (control_.universe().is_dead(rank_)) throw WorkerDiedError(rank_);
   const mpi::Tag tag = allocate_tag();
   auto ev = std::make_shared<OriginEvent>(tag, kind, dest);
   // Post the landing buffer before the worker can possibly send.
@@ -282,6 +322,24 @@ OriginEventPtr EventSystem::start_retrieve(mpi::Rank dest,
 Bytes EventSystem::run(mpi::Rank dest, EventKind kind, Bytes header,
                        mpi::Payload payload) {
   return start(dest, kind, std::move(header), std::move(payload))->wait();
+}
+
+void EventSystem::fail_local() {
+  std::vector<OriginEventPtr> victims;
+  {
+    std::lock_guard<std::mutex> lock(origin_mutex_);
+    dead_ranks_.insert(rank_);
+    victims.reserve(origin_events_.size());
+    for (auto& [tag, ev] : origin_events_) {
+      (void)tag;
+      victims.push_back(std::move(ev));
+    }
+    origin_events_.clear();
+  }
+  origin_cv_.notify_all();
+  // No cancel here: the poison that killed this rank already killed its
+  // posted receives; fail() force-completes any landing-buffer request.
+  for (auto& ev : victims) ev->fail(rank_);
 }
 
 void EventSystem::fail_rank(mpi::Rank dead) {
@@ -449,8 +507,11 @@ void EventSystem::gate_main() {
       }
     }
   } catch (const mpi::RankKilledError&) {
-    // This rank was killed by fault injection: unwind the gate and release
-    // the rank's main thread so the universe can join it.
+    // This rank was killed by fault injection: fail every outstanding
+    // origin event (their completions can never arrive through a poisoned
+    // mailbox), then unwind the gate and release the rank's main thread so
+    // the universe can join it.
+    fail_local();
     stop_local();
   }
 }
@@ -465,21 +526,30 @@ void EventSystem::handler_main(int /*index*/) {
       ev = std::move(queue_.front());
       queue_.pop_front();
     }
+    bool finished = true;
+    bool died = false;
+    // The active counter is held only while inside progress() so a parked
+    // event backing off does not starve TrimHeap's only-active-event gate.
+    active_events_.fetch_add(1, std::memory_order_acq_rel);
     try {
-      if (progress(ev)) {
-        stats_.handled.fetch_add(1, std::memory_order_relaxed);
-      } else {
-        // Pending I/O: back off with a real OS sleep so a lone pending event
-        // doesn't turn the handler pool into a spin storm (precise_sleep
-        // would spin for a wait this short), then requeue (step 5b, Fig 3).
-        // 200 us of poll granularity is noise against millisecond transfers.
-        stats_.reenqueued.fetch_add(1, std::memory_order_relaxed);
-        std::this_thread::sleep_for(std::chrono::microseconds(200));
-        enqueue_remote(std::move(ev));
-      }
+      finished = progress(ev);
     } catch (const mpi::RankKilledError&) {
       // This rank died while executing the event; abandon it and keep
       // draining so the queue empties and the handler can exit at stop.
+      died = true;
+    }
+    active_events_.fetch_sub(1, std::memory_order_acq_rel);
+    if (died) continue;
+    if (finished) {
+      stats_.handled.fetch_add(1, std::memory_order_relaxed);
+    } else {
+      // Pending I/O: back off with a real OS sleep so a lone pending event
+      // doesn't turn the handler pool into a spin storm (precise_sleep
+      // would spin for a wait this short), then requeue (step 5b, Fig 3).
+      // 200 us of poll granularity is noise against millisecond transfers.
+      stats_.reenqueued.fetch_add(1, std::memory_order_relaxed);
+      std::this_thread::sleep_for(std::chrono::microseconds(200));
+      enqueue_remote(std::move(ev));
     }
   }
 }
@@ -557,7 +627,12 @@ bool EventSystem::progress(RemoteEvent& ev) {
     case EventKind::SnapshotDrop: {
       const auto h = header.get<SnapshotDropHeader>();
       OMPC_CHECK(memory_ != nullptr);
-      memory_->free(h.ptr);
+      // Tolerant: a head promoted from a one-boundary-stale replica may
+      // drop shadows this rank released under the old head (orphan sweeps
+      // after the generation the replica never saw). Ack the no-op.
+      if (!memory_->try_free(h.ptr))
+        OMPC_LOG_DEBUG("snapshot drop of unknown shadow "
+                       << h.ptr << " (stale post-failover state) ignored");
       send_completion(a.origin, a.tag, {});
       return true;
     }
@@ -602,15 +677,63 @@ bool EventSystem::progress(RemoteEvent& ev) {
         // A payload from a dead peer will never arrive; abort the event
         // instead of re-enqueueing it forever. The head has already failed
         // the origin half, so this completion is dropped there as late.
+        // A dead *origin* aborts too: a head that died after starting this
+        // half but before starting the matching send leaves the payload
+        // unsent forever, and the promoted head must be able to drain us.
         // Unpost the irecv: recovery may free h.dst, and a stale in-flight
         // payload landing there afterwards would be a use-after-free.
-        if (is_rank_dead(h.peer)) {
+        if (is_rank_dead(h.peer) || is_rank_dead(a.origin)) {
           control_.cancel(ev.io);
           send_completion(a.origin, a.tag, {});
           return true;
         }
         return false;
       }
+      send_completion(a.origin, a.tag, {});
+      return true;
+    }
+    case EventKind::HeadState: {
+      // Replication update. Like Submit, the payload is posted before the
+      // announce, so the irecv always matches — no dead-origin abort needed.
+      const auto h = header.get<HeadStateHeader>();
+      if (ev.phase == 0) {
+        ev.blob = std::make_shared<Bytes>(h.size);
+        ev.io = data_comm_for(a.tag).irecv(ev.blob->data(), h.size, a.origin,
+                                           a.tag);
+        ev.phase = 1;
+      }
+      if (!ev.io.test()) return false;
+      if (replica_ != nullptr) {
+        replica_->apply(static_cast<ReplicaStore::Update>(h.reset),
+                        h.generation, *ev.blob);
+      }
+      send_completion(a.origin, a.tag, {});
+      return true;
+    }
+    case EventKind::TrimHeap: {
+      // Heap reconciliation after failover frees blocks in bulk, so it must
+      // not run concurrently with an event that may touch one (an Execute
+      // dispatched by the dead head and still in flight). Defer until this
+      // is the only active event and the queue is drained.
+      {
+        std::lock_guard<std::mutex> lock(queue_mutex_);
+        if (!queue_.empty()) return false;
+      }
+      if (active_events_.load(std::memory_order_acquire) != 1) return false;
+      const auto h = header.get<TrimHeapHeader>();
+      std::vector<offload::TargetPtr> keep;
+      keep.reserve(h.keep_count);
+      for (std::uint64_t i = 0; i < h.keep_count; ++i)
+        keep.push_back(header.get<offload::TargetPtr>());
+      OMPC_CHECK(memory_ != nullptr);
+      memory_->retain_only(keep);
+      send_completion(a.origin, a.tag, {});
+      return true;
+    }
+    case EventKind::MembershipUpdate: {
+      // Informational on workers today (the head owns placement); carried
+      // as an event so membership changes are acknowledged and ordered
+      // with the data plane.
       send_completion(a.origin, a.tag, {});
       return true;
     }

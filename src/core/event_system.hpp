@@ -30,6 +30,8 @@
 
 namespace ompc::core {
 
+class ReplicaStore;
+
 /// Rank-local "device memory": the worker-side heap that Alloc/Delete
 /// events manage. Head code never dereferences these addresses (distinct
 /// address spaces by discipline, DESIGN.md decision 1).
@@ -58,6 +60,12 @@ class WorkerMemory {
   offload::TargetPtr alloc(std::size_t size);
   void free(offload::TargetPtr ptr);
 
+  /// free() that tolerates an unknown pointer (returns false instead of
+  /// failing). After a head failover the adopted checkpoint state lags the
+  /// real heap by up to one boundary, so a SnapshotDrop may name a shadow
+  /// this rank already released — a legitimate no-op, not a double free.
+  bool try_free(offload::TargetPtr ptr);
+
   /// Worker-local checkpoint shadow (SnapshotSave): allocates a fresh block
   /// and copies `size` bytes from the live allocation at `src` (a block
   /// base) into it, entirely rank-local. Returns the shadow's address.
@@ -66,6 +74,12 @@ class WorkerMemory {
   /// Zero-copy read view of the allocation starting at `ptr` (must be a
   /// block base), pinned for the payload's lifetime.
   mpi::Payload share(offload::TargetPtr ptr, std::size_t size) const;
+
+  /// Frees every block whose address is not in `keep` (TrimHeap): heap
+  /// reconciliation after a head failover, when the dead head's bookkeeping
+  /// for all non-checkpoint blocks is unrecoverable. Windows go with the
+  /// blocks; in-flight payloads sharing a freed block stay pinned.
+  void retain_only(const std::vector<offload::TargetPtr>& keep);
 
   std::size_t live() const;
 
@@ -140,8 +154,11 @@ struct EventSystemStats {
 class EventSystem {
  public:
   /// `memory`/`exec_pool` may be null on the head (it executes nothing).
+  /// `replica`, when non-null, receives HeadState payloads (worker ranks
+  /// eligible to shadow the head's recording state).
   EventSystem(mpi::RankContext& ctx, const ClusterOptions& opts,
-              WorkerMemory* memory, omp::TaskRuntime* exec_pool);
+              WorkerMemory* memory, omp::TaskRuntime* exec_pool,
+              ReplicaStore* replica = nullptr);
   ~EventSystem();
 
   EventSystem(const EventSystem&) = delete;
@@ -218,10 +235,16 @@ class EventSystem {
     EventAnnounce announce;
     int phase = 0;
     mpi::Request io;  ///< pending irecv for Submit / ExchangeRecv
+    std::shared_ptr<Bytes> blob;  ///< HeadState payload landing buffer
   };
 
   void gate_main();
   void handler_main(int index);
+
+  /// This rank died (gate caught RankKilledError): declare self dead and
+  /// fail every outstanding origin event, so origin waiters unblock —
+  /// their completions can never arrive once the mailbox is poisoned.
+  void fail_local();
 
   /// Advances the event; true when finished (completion already sent).
   bool progress(RemoteEvent& ev);
@@ -239,6 +262,7 @@ class EventSystem {
 
   WorkerMemory* memory_;
   omp::TaskRuntime* exec_pool_;
+  ReplicaStore* replica_;
 
   // Origin registry: events awaiting completion, keyed by tag. Also guards
   // the dead-rank set; origin_cv_ signals the registry shrinking (quiesce).
@@ -248,10 +272,12 @@ class EventSystem {
   std::unordered_set<mpi::Rank> dead_ranks_;
   std::atomic<mpi::Tag> next_tag_{kFirstEventTag};
 
-  // Local destination-event queue.
+  // Local destination-event queue. active_events_ counts events currently
+  // inside progress() — TrimHeap defers until it is the only one.
   std::mutex queue_mutex_;
   std::condition_variable queue_cv_;
   std::deque<RemoteEvent> queue_;
+  std::atomic<int> active_events_{0};
 
   std::atomic<bool> stop_{false};
   std::mutex stopped_mutex_;

@@ -134,6 +134,86 @@ std::size_t ClusterGraph::edge_bytes(int from, int to) const {
   return 0;
 }
 
+HostFnRegistry& HostFnRegistry::instance() {
+  static HostFnRegistry reg;
+  return reg;
+}
+
+std::uint64_t HostFnRegistry::intern(std::function<void()> fn) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  const std::uint64_t h = next_++;
+  fns_.emplace(h, std::move(fn));
+  return h;
+}
+
+std::function<void()> HostFnRegistry::get(std::uint64_t handle) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  const auto it = fns_.find(handle);
+  OMPC_CHECK_MSG(it != fns_.end(), "unknown host-fn handle " << handle);
+  return it->second;
+}
+
+Bytes serialize_graph(const ClusterGraph& g) {
+  ArchiveWriter w;
+  w.put<std::uint64_t>(g.size());
+  for (const ClusterTask& t : g.tasks()) {
+    w.put(t.type);
+    w.put(t.kernel);
+    w.put(t.cost_s);
+    w.put<std::uint64_t>(reinterpret_cast<std::uintptr_t>(t.buffer));
+    w.put<std::uint8_t>(t.copy ? 1 : 0);
+    w.put(t.host_fn_handle);
+    w.put<std::uint64_t>(t.buffer_args.size());
+    for (const void* b : t.buffer_args)
+      w.put<std::uint64_t>(reinterpret_cast<std::uintptr_t>(b));
+    w.put_blob(std::span<const std::byte>(t.scalars.data(), t.scalars.size()));
+    w.put<std::uint64_t>(t.deps.size());
+    for (const omp::Dep& d : t.deps) {
+      w.put<std::uint64_t>(reinterpret_cast<std::uintptr_t>(d.addr));
+      w.put(d.type);
+    }
+  }
+  return w.take();
+}
+
+ClusterGraph deserialize_graph(
+    std::span<const std::byte> data,
+    std::function<std::size_t(const void*)> buffer_size) {
+  ArchiveReader r(data);
+  ClusterGraph g(std::move(buffer_size));
+  const auto n = r.get<std::uint64_t>();
+  for (std::uint64_t i = 0; i < n; ++i) {
+    ClusterTask t;
+    t.type = r.get<TaskType>();
+    t.kernel = r.get<offload::KernelId>();
+    t.cost_s = r.get<double>();
+    t.buffer = reinterpret_cast<const void*>(
+        static_cast<std::uintptr_t>(r.get<std::uint64_t>()));
+    t.copy = r.get<std::uint8_t>() != 0;
+    t.host_fn_handle = r.get<std::uint64_t>();
+    if (t.host_fn_handle != 0)
+      t.host_fn = HostFnRegistry::instance().get(t.host_fn_handle);
+    const auto nb = r.get<std::uint64_t>();
+    t.buffer_args.reserve(nb);
+    for (std::uint64_t b = 0; b < nb; ++b)
+      t.buffer_args.push_back(reinterpret_cast<const void*>(
+          static_cast<std::uintptr_t>(r.get<std::uint64_t>())));
+    t.scalars = r.get_blob();
+    const auto nd = r.get<std::uint64_t>();
+    t.deps.reserve(nd);
+    for (std::uint64_t d = 0; d < nd; ++d) {
+      omp::Dep dep;
+      dep.addr = reinterpret_cast<const void*>(
+          static_cast<std::uintptr_t>(r.get<std::uint64_t>()));
+      dep.type = r.get<omp::DepType>();
+      t.deps.push_back(dep);
+    }
+    g.add_task(std::move(t));
+  }
+  g.build_edges();
+  return g;
+}
+
 CollapsedView ClusterGraph::collapsed() const {
   CollapsedView v;
   v.view_index.assign(tasks_.size(), -1);

@@ -15,7 +15,9 @@
 
 #include <cstdint>
 #include <functional>
+#include <mutex>
 #include <span>
+#include <unordered_map>
 #include <vector>
 
 #include "common/serialize.hpp"
@@ -40,8 +42,12 @@ struct ClusterTask {
   const void* buffer = nullptr;
   bool copy = true;  ///< enter: copy payload; exit: copy back to host
 
-  // Host tasks.
+  // Host tasks. A std::function cannot cross a serialization boundary, so
+  // the closure is interned in the process-wide HostFnRegistry and the
+  // handle travels in its place (head replication; valid because workers
+  // share the process in this simulated cluster).
   std::function<void()> host_fn;
+  std::uint64_t host_fn_handle = 0;  ///< 0 = none
 
   omp::DepList deps;
 
@@ -112,5 +118,34 @@ class ClusterGraph {
   std::vector<Edge> edges_;
   bool edges_built_ = false;
 };
+
+/// Process-wide host-task closure registry (head replication): a promoted
+/// head resurrects a replicated wave's host tasks by handle. Entries live
+/// for the process — handles are issued once per recorded task.
+class HostFnRegistry {
+ public:
+  static HostFnRegistry& instance();
+
+  /// Stores `fn` and returns its handle (> 0).
+  std::uint64_t intern(std::function<void()> fn);
+
+  /// Resolves a handle; throws on an unknown one.
+  std::function<void()> get(std::uint64_t handle) const;
+
+ private:
+  mutable std::mutex mutex_;
+  std::uint64_t next_ = 1;
+  std::unordered_map<std::uint64_t, std::function<void()>> fns_;
+};
+
+/// Flattens a built graph's tasks for the head-state replica. Derived
+/// edges are not shipped; deserialize_graph() rebuilds them.
+Bytes serialize_graph(const ClusterGraph& g);
+
+/// Inverse of serialize_graph: reconstructs the tasks (host_fn resolved
+/// through the HostFnRegistry) and rebuilds the edges.
+ClusterGraph deserialize_graph(
+    std::span<const std::byte> data,
+    std::function<std::size_t(const void*)> buffer_size);
 
 }  // namespace ompc::core

@@ -36,23 +36,67 @@ void HeartbeatRing::ring_main() {
   std::int64_t last_ping_ns = now_ns();
   const std::int64_t period_ns = opts_.period_ms * 1'000'000;
   const std::int64_t timeout_ns = opts_.timeout_ms * 1'000'000;
+  const std::int64_t min_ns = (opts_.min_timeout_ms > 0
+                                   ? opts_.min_timeout_ms * 1'000'000
+                                   : 4 * period_ns);
+
+  // Adaptive threshold (Jacobson/Karels): EWMA mean and deviation of the
+  // measured inter-ping gaps. A quiet, punctual ring tightens detection
+  // well below the worst-case fixed timeout; a jittery one backs off
+  // before it false-positives. The fixed timeout stays the upper bound.
+  std::int64_t mean_ns = period_ns;
+  std::int64_t dev_ns = period_ns;
+  std::int64_t threshold_ns = timeout_ns;
+  threshold_ns_.store(threshold_ns, std::memory_order_relaxed);
 
   while (!stop_.load(std::memory_order_relaxed)) {
-    if (!paused_.load(std::memory_order_relaxed)) {
-      const std::uint64_t beat = 1;
-      comm_.send(&beat, sizeof beat, next_, kPingTag);
-    }
-    // Drain everything the predecessor sent since the last round.
-    while (comm_.iprobe(prev_, kPingTag)) {
-      std::uint64_t beat = 0;
-      comm_.recv(&beat, sizeof beat, prev_, kPingTag);
-      last_ping_ns = now_ns();
-    }
-    if (!failed_.load(std::memory_order_relaxed) &&
-        now_ns() - last_ping_ns > timeout_ns) {
-      failed_.store(true, std::memory_order_relaxed);
-      OMPC_LOG_WARN("heartbeat: rank " << prev_ << " stopped responding");
-      if (on_failure_) on_failure_(prev_);
+    try {
+      if (!paused_.load(std::memory_order_relaxed)) {
+        const std::uint64_t beat = 1;
+        comm_.send(&beat, sizeof beat, next_, kPingTag);
+      }
+      // Drain everything the predecessor sent since the last round.
+      while (comm_.iprobe(prev_, kPingTag)) {
+        std::uint64_t beat = 0;
+        comm_.recv(&beat, sizeof beat, prev_, kPingTag);
+        const std::int64_t now = now_ns();
+        if (opts_.adaptive) {
+          const std::int64_t gap = now - last_ping_ns;
+          const std::int64_t err = gap - mean_ns;
+          mean_ns += err / 8;
+          dev_ns += ((err < 0 ? -err : err) - dev_ns) / 4;
+          threshold_ns = mean_ns + opts_.dev_factor * dev_ns + period_ns;
+          if (threshold_ns < min_ns) threshold_ns = min_ns;
+          if (threshold_ns > timeout_ns) threshold_ns = timeout_ns;
+          threshold_ns_.store(threshold_ns, std::memory_order_relaxed);
+        }
+        last_ping_ns = now;
+      }
+      if (!failed_.load(std::memory_order_relaxed) &&
+          now_ns() - last_ping_ns > threshold_ns) {
+        if (opts_.verify_liveness && !comm_.universe().is_dead(prev_)) {
+          // Silence without a corpse: this ring thread (or the peer's) was
+          // starved by the scheduler, not the peer dying. The liveness
+          // check stands in for a real transport's connection-state
+          // notification, same as the membership agent's head poll. Widen
+          // the adaptive threshold so the same stall does not re-trip.
+          last_ping_ns = now_ns();
+          if (opts_.adaptive) {
+            dev_ns += dev_ns / 2 + period_ns;
+            threshold_ns = mean_ns + opts_.dev_factor * dev_ns + period_ns;
+            if (threshold_ns > timeout_ns) threshold_ns = timeout_ns;
+            threshold_ns_.store(threshold_ns, std::memory_order_relaxed);
+          }
+        } else {
+          failed_.store(true, std::memory_order_relaxed);
+          OMPC_LOG_WARN("heartbeat: rank " << prev_ << " stopped responding");
+          if (on_failure_) on_failure_(prev_);
+        }
+      }
+    } catch (const mpi::RankKilledError&) {
+      // This rank was killed under us (pre-poison ping still queued when
+      // the recv landed). The ring dies with the rank — nothing to report.
+      return;
     }
     precise_sleep_ns(period_ns);
   }

@@ -28,6 +28,22 @@ class HeartbeatRing {
   struct Options {
     std::int64_t period_ms = 20;
     std::int64_t timeout_ms = 100;
+
+    /// Adaptive miss threshold (Jacobson/Karels over inter-ping gaps):
+    /// threshold = mean + dev_factor * dev + period, clamped to
+    /// [min_timeout_ms, timeout_ms]. Off by default — the fixed timeout
+    /// above applies — so direct-ring users see unchanged behaviour.
+    bool adaptive = false;
+    std::int64_t min_timeout_ms = 0;  ///< 0 = auto (4 * period)
+    int dev_factor = 6;
+
+    /// Confirm a miss against universe-level liveness before declaring the
+    /// predecessor dead (stands in for a real transport's connection-state
+    /// notification): a starved ring thread then reads as a false alarm
+    /// that widens the adaptive threshold instead of triggering recovery —
+    /// or, far worse, a head-death election against a live head. Off only
+    /// for tests that exercise the pure ring protocol via pause().
+    bool verify_liveness = true;
   };
 
   /// `comm` must be dedicated to the ring (dup() one). `on_failure` is
@@ -54,6 +70,12 @@ class HeartbeatRing {
   mpi::Rank predecessor() const noexcept { return prev_; }
   mpi::Rank successor() const noexcept { return next_; }
 
+  /// The miss threshold currently in force, in ns (test hook; the fixed
+  /// timeout unless adaptive estimation has tightened it).
+  std::int64_t current_threshold_ns() const {
+    return threshold_ns_.load(std::memory_order_relaxed);
+  }
+
  private:
   void ring_main();
 
@@ -66,6 +88,7 @@ class HeartbeatRing {
   std::atomic<bool> stop_{false};
   std::atomic<bool> paused_{false};
   std::atomic<bool> failed_{false};
+  std::atomic<std::int64_t> threshold_ns_{0};
   std::thread thread_;
 };
 

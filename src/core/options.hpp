@@ -118,8 +118,25 @@ struct ClusterOptions {
   /// and reported to the head, which triggers recovery in wait_all().
   std::int64_t heartbeat_period_ms = 0;
 
-  /// Silence threshold before a ring neighbour is declared dead.
+  /// Silence threshold before a ring neighbour is declared dead. With
+  /// adaptive timing (below) this is the *ceiling*: the EWMA-derived
+  /// threshold never exceeds it.
   std::int64_t heartbeat_timeout_ms = 100;
+
+  /// Derive the miss threshold from measured ping inter-arrival samples
+  /// (Jacobson-style EWMA of mean + k·deviation) instead of the fixed
+  /// timeout. Robust under sanitizer/CI jitter: a slow run widens its own
+  /// threshold instead of needing inflated static timeouts.
+  bool heartbeat_adaptive = true;
+
+  /// Adaptive-mode floor (ms): the derived threshold never drops below
+  /// this, so a burst of fast pings cannot make detection hair-triggered.
+  /// 0 = auto (4 heartbeat periods).
+  std::int64_t heartbeat_min_timeout_ms = 0;
+
+  /// Deviation multiplier k in the adaptive threshold
+  /// mean + k * deviation (Jacobson's RTO uses 4).
+  int heartbeat_dev_factor = 6;
 
   /// Waves between buffer checkpoints (paper §5): 1 = snapshot at every
   /// wait_all() boundary, k = every k-th, 0 = fault tolerance disabled (a
@@ -133,6 +150,19 @@ struct ClusterOptions {
   /// O(metadata) while surviving the snapshot owner's death.
   CheckpointLocality checkpoint_locality = CheckpointLocality::Head;
 
+  /// Replicate the head's recording state (wave log, ownership map,
+  /// checkpoint metadata) to a shadow worker at every wave boundary, so a
+  /// surviving rank can be elected head and resume from the last committed
+  /// wave when the head dies. Requires checkpoint_period > 0 and the
+  /// heartbeat ring (detection + election ride on it).
+  bool head_replication = true;
+
+  /// Extra ranks launched as workers but left out of the initial schedule:
+  /// the elastic pool Runtime::request_join() activates at a wave boundary
+  /// (they heartbeat and serve events from the start, so joining is pure
+  /// bookkeeping — no process launch).
+  int spare_workers = 0;
+
   /// Fault injection forwarded to the simulated universe: each entry kills
   /// one rank at a fixed time offset (deterministic, testable failures).
   std::vector<mpi::KillSpec> kills;
@@ -140,8 +170,12 @@ struct ClusterOptions {
   /// Seed for SchedulerKind::Random.
   std::uint64_t seed = 0x5eed;
 
-  /// Ranks in the universe (head + workers).
-  int ranks() const noexcept { return num_workers + 1; }
+  /// Ranks in the universe (head + workers + spare workers).
+  int ranks() const noexcept { return num_workers + spare_workers + 1; }
+
+  /// Workers booted at launch (initial + spares); spares only become
+  /// schedulable after Runtime::request_join().
+  int total_workers() const noexcept { return num_workers + spare_workers; }
 
   /// Cluster-scaled head pool size: enough in-flight jobs to saturate
   /// every worker's executor and transfer pipeline. Used for the TwoStep

@@ -45,6 +45,27 @@ enum class EventKind : std::uint8_t {
   /// ExchangeSend/ExchangeRecv pair on the RMA data plane — one event, no
   /// receive posted at the peer, the bytes land via the window registry.
   RmaPut,
+
+  // Head failover / elastic membership (§5 extension).
+
+  /// Head -> shadow rank: an incremental update of the head's recording
+  /// state (wave log delta + ownership/checkpoint metadata). The payload
+  /// blob is stored verbatim in the shadow's ReplicaStore; it is only
+  /// deserialized if that rank is later promoted.
+  HeadState,
+
+  /// New head -> worker (post-election): free every device block except the
+  /// listed keep-set (the checkpoint shadows the replicated metadata still
+  /// references). Reconciles worker heaps the old head was mid-way through
+  /// mutating — the dead head's bookkeeping for them is unrecoverable.
+  TrimHeap,
+
+  /// New head -> workers: the authoritative live-worker set changed (a
+  /// runtime join/leave, or post-failover re-ranking). Informational on the
+  /// destination today (the head owns all placement decisions); carried as
+  /// an event so membership changes are acknowledged and ordered with the
+  /// data plane.
+  MembershipUpdate,
 };
 
 const char* to_string(EventKind k);
@@ -132,6 +153,31 @@ struct RmaPutHeader {
   mpi::Rank peer = 0;           ///< target rank of the put
   offload::TargetPtr win = 0;   ///< peer's window id (= block address)
   std::uint64_t offset = 0;     ///< byte offset inside the window
+};
+
+/// HeadState: `size` bytes of serialized head state follow as the event
+/// payload. `reset` marks a boundary where the checkpoint was retaken: the
+/// shadow moves its accumulated waves to the previous-generation slot and
+/// starts fresh (mirroring wave_log_.clear() on the head).
+struct HeadStateHeader {
+  std::uint64_t size = 0;
+  std::uint64_t generation = 0;
+  std::uint8_t reset = 0;
+};
+
+/// TrimHeap: keep-set of device block addresses follows in the header blob
+/// (serialized vector). Everything else on the destination's heap is freed.
+/// The handler defers until it is the only active event on the rank so no
+/// in-flight Submit/Execute touches a block being freed.
+struct TrimHeapHeader {
+  std::uint64_t keep_count = 0;  ///< vector<TargetPtr> follows
+};
+
+/// MembershipUpdate: the new live-worker table, positional (proc index ->
+/// rank), plus the current head rank.
+struct MembershipUpdateHeader {
+  mpi::Rank head = 0;
+  std::uint64_t worker_count = 0;  ///< vector<Rank> follows
 };
 
 /// Execute carries variable-length argument lists, serialized explicitly.

@@ -10,19 +10,25 @@
 #include "common/log.hpp"
 #include "common/time.hpp"
 #include "core/heartbeat.hpp"
+#include "core/membership.hpp"
 
 namespace ompc::core {
 
-Runtime::Runtime(const ClusterOptions& opts, EventSystem& events)
+Runtime::Runtime(const ClusterOptions& opts, EventSystem& events,
+                 MembershipBus* bus)
     : opts_(opts),
-      events_(events),
+      events_(&events),
       dm_(events, opts),
       graph_(fresh_graph()),
-      ckpt_(&events, opts.checkpoint_locality, opts.data_plane) {
+      ckpt_(&events, opts.checkpoint_locality, opts.data_plane),
+      bus_(bus) {
   // Scheduler processors map onto this live-worker table; recovery shrinks
-  // it, which is how survivors are re-ranked after a failure.
+  // it, which is how survivors are re-ranked after a failure. Spare ranks
+  // boot like workers but stay out of it until request_join().
   live_workers_.reserve(static_cast<std::size_t>(opts.num_workers));
   for (int w = 0; w < opts.num_workers; ++w) live_workers_.push_back(w + 1);
+  for (int s = 0; s < opts.spare_workers; ++s)
+    spare_pool_.push_back(opts.num_workers + 1 + s);
 
   // HelperThreads: the LLVM bound — in-flight regions <= head threads.
   // TwoStep: the §7 fix decouples in-flight regions from head cores; its
@@ -97,6 +103,10 @@ int Runtime::target(omp::DepList deps, offload::KernelId kernel, Args args,
 int Runtime::host_task(std::function<void()> fn, omp::DepList deps) {
   ClusterTask t;
   t.type = TaskType::Host;
+  // Interned so the closure survives head replication: the handle travels
+  // in the serialized wave log and a promoted head resurrects the function
+  // from the process-wide registry.
+  t.host_fn_handle = HostFnRegistry::instance().intern(fn);
   t.host_fn = std::move(fn);
   t.deps = std::move(deps);
   const int id = graph_.add_task(std::move(t));
@@ -133,7 +143,7 @@ void Runtime::execute_task(const ClusterTask& t, int proc) {
       h.kernel = t.kernel;
       h.buffers = addrs;
       h.scalars = t.scalars;
-      events_.run(worker, EventKind::Execute, h.serialize());
+      events_->run(worker, EventKind::Execute, h.serialize());
       dm_.after_write(worker, t.deps);
       return;
     }
@@ -266,6 +276,7 @@ void Runtime::run_wave(const ClusterGraph& graph) {
 }
 
 void Runtime::report_worker_failure(mpi::Rank dead) {
+  EventSystem* ev = nullptr;
   {
     std::lock_guard<std::mutex> lock(fault_mutex_);
     if (std::find(reported_dead_.begin(), reported_dead_.end(), dead) !=
@@ -279,6 +290,9 @@ void Runtime::report_worker_failure(mpi::Rank dead) {
     // failure_pending_ is set iff reported_dead_ is non-empty, so an armed
     // recovery always finds a corpse to process.
     failure_pending_.store(true, std::memory_order_release);
+    // Snapshot the event plane under the lock: failover() swaps events_
+    // (under this mutex) while detector threads are still reporting.
+    ev = events_;
   }
   OMPC_LOG_WARN("failure detector: worker rank " << dead
                                                  << " declared dead");
@@ -290,8 +304,8 @@ void Runtime::report_worker_failure(mpi::Rank dead) {
   failures_reported_.fetch_add(1, std::memory_order_acq_rel);
   // Abort in-flight events touching the corpse (helper threads unwind with
   // WorkerDiedError) and tell live workers to drop its pending exchanges.
-  events_.fail_rank(dead);
-  events_.announce_rank_dead(dead);
+  ev->fail_rank(dead);
+  ev->announce_rank_dead(dead);
 }
 
 void Runtime::rollback(mpi::Rank dead) {
@@ -324,7 +338,7 @@ void Runtime::rollback(mpi::Rank dead) {
   }
   // fail_rank outside fault_mutex_ (it takes the event system's own lock);
   // idempotent, and covers the unreported-corpse path.
-  for (mpi::Rank r : corpses) events_.fail_rank(r);
+  for (mpi::Rank r : corpses) events_->fail_rank(r);
   stats_.workers_lost += static_cast<std::int64_t>(corpses.size());
   // Arm the monitor's cascading-failure fallback even when the corpse was
   // discovered by an event throw rather than a heartbeat report (the
@@ -345,7 +359,7 @@ void Runtime::rollback(mpi::Rank dead) {
   // must land before we mutate the cluster-wide buffer state underneath
   // them (a Submit racing a Delete would be a use-after-free on the
   // worker's device heap).
-  events_.quiesce();
+  events_->quiesce();
 
   const std::int64_t lost_before = dm_.stats().buffers_lost.load();
   for (mpi::Rank r : corpses) dm_.purge_rank(r);
@@ -356,6 +370,7 @@ void Runtime::rollback(mpi::Rank dead) {
   // re-distributes them to the survivors.
   dm_.reset_all_to_host();
   ckpt_.restore(dm_);
+  absorb_degraded_restore();
 
   {
     // A failure reported *during* this rollback stays pending and triggers
@@ -376,6 +391,14 @@ void Runtime::recover_from(mpi::Rank dead) {
   // keep rolling back. Only RecoveryError escapes.
   for (;;) {
     try {
+      // The corpse may be the head itself (dispatch fails fast on the dead
+      // head's event system): that is a failover, not a rollback — adopt
+      // the elected successor's replica, then return so the caller replays
+      // from the adopted log.
+      if (events_->is_rank_gone(head_rank_)) {
+        failover();
+        return;
+      }
       rollback(dead);
       return;
     } catch (const WorkerDiedError& again) {
@@ -389,7 +412,7 @@ void Runtime::run_with_recovery(const ClusterGraph* current, bool replaying) {
   // the first time) must not be double-run by the replay sweep; a null
   // current replays the WHOLE log — the between-waves repair path, where
   // rollback regressed buffers that completed waves had already written.
-  const bool current_is_logged =
+  bool current_is_logged =
       current != nullptr && !wave_log_.empty() && current == &wave_log_.back();
   for (;;) {
     try {
@@ -429,14 +452,40 @@ void Runtime::run_with_recovery(const ClusterGraph* current, bool replaying) {
         }
       }
       return;
+    } catch (const mpi::RankKilledError& e) {
+      // A raw transport-level death that escaped the event layer's
+      // translation (rare: a request completed exceptionally on a path
+      // with no origin event). Same recovery as WorkerDiedError.
+      const std::uint64_t epoch_before = head_epoch_;
+      recover_from(e.rank());
+      replaying = true;
+      if (current != nullptr &&
+          (current_is_logged || head_epoch_ != epoch_before)) {
+        current = wave_log_.empty() ? nullptr : &wave_log_.back();
+        current_is_logged = current != nullptr;
+      }
     } catch (const WorkerDiedError& e) {
+      const std::uint64_t epoch_before = head_epoch_;
       recover_from(e.rank());  // RecoveryError escapes when impossible
       replaying = true;
+      // Recovery can rebuild or grow the wave log underneath `current`:
+      // a failover re-creates it from the replica blobs, and a degraded
+      // restore prepends the prior generation's waves (both reallocate the
+      // vector). Re-home the pointer at the log's new tail — the same
+      // wave, just at its new address.
+      if (current != nullptr &&
+          (current_is_logged || head_epoch_ != epoch_before)) {
+        current = wave_log_.empty() ? nullptr : &wave_log_.back();
+        current_is_logged = current != nullptr;
+      }
     }
   }
 }
 
 void Runtime::wait_all() {
+  // Membership changes commit at wave boundaries — the cluster is quiescent
+  // here, so buffer migration cannot race in-flight tasks.
+  process_membership_requests();
   if (graph_.empty()) {
     // A failure can land in the instants after the last wave completed; the
     // cluster state must be repaired (or the condition surfaced as
@@ -451,11 +500,24 @@ void Runtime::wait_all() {
 
   const bool ft = opts_.checkpoint_period > 0;
   bool replaying = false;
+  bool boundary_reset = false;
   if (ft) {
     if (wave_index_ % opts_.checkpoint_period == 0) {
       try {
         ckpt_.capture(dm_, wave_index_, live_workers_);
+        // The committed capture makes these waves unreachable by normal
+        // recovery; they move to the previous-generation slot (not gone:
+        // a degraded restore replays from the PRIOR boundary, and the
+        // checkpoint store keeps that generation's snapshots until the
+        // next capture commits).
+        prev_wave_log_ = std::move(wave_log_);
+        prev_wave_blobs_ = std::move(wave_blobs_);
+        prev_wave_seqs_ = std::move(wave_seqs_);
         wave_log_.clear();
+        wave_blobs_.clear();
+        wave_seqs_.clear();
+        replicated_waves_ = 0;
+        boundary_reset = true;
       } catch (const WorkerDiedError& e) {
         // A worker died mid-capture. The previous snapshot is intact
         // (capture commits atomically, worker-local shadows included);
@@ -477,6 +539,12 @@ void Runtime::wait_all() {
     // previous one unreachable by recovery.
     wave_log_.push_back(std::move(graph_));
     graph_ = fresh_graph();
+    wave_blobs_.push_back(serialize_graph(wave_log_.back()));
+    wave_seqs_.push_back(wave_index_);
+    // Mirror the head state to the shadow rank BEFORE executing: if the
+    // head dies mid-wave, the promoted successor holds this very wave and
+    // replays it — that is the bitwise-identical failover guarantee.
+    replicate_head_state(boundary_reset);
     run_with_recovery(&wave_log_.back(), replaying);
   } else {
     run_with_recovery(&graph_, replaying);
@@ -485,6 +553,440 @@ void Runtime::wait_all() {
 
   ++wave_index_;
   ++stats_.waves;
+}
+
+// --- head failover (replicated state, election adoption) -----------------
+
+void Runtime::replicate_head_state(bool boundary_reset) {
+  if (bus_ == nullptr || !opts_.head_replication || live_workers_.empty())
+    return;
+  // The shadow is the first live worker: deterministic, and recovery's
+  // re-ranking naturally promotes the next one when it dies.
+  const mpi::Rank shadow = live_workers_.front();
+  ReplicaStore::Update kind;
+  if (shadow != shadow_rank_) {
+    kind = ReplicaStore::Update::Full;  // new shadow: resync everything
+  } else if (boundary_reset) {
+    kind = ReplicaStore::Update::Reset;  // checkpoint retaken: new period
+  } else {
+    kind = ReplicaStore::Update::Append;  // steady state: just the new wave
+  }
+
+  // Metadata travels in full every time — it is O(buffers + workers), tiny
+  // next to the wave payloads, and replacing it wholesale keeps the replica
+  // trivially consistent. Stats ride along so counters survive a handoff.
+  ArchiveWriter meta;
+  meta.put_raw(&stats_, sizeof stats_);
+  meta.put_vector(live_workers_);
+  meta.put_vector(spare_pool_);
+  const Bytes dm_blob = dm_.serialize_registry();
+  meta.put_blob(std::span<const std::byte>(dm_blob.data(), dm_blob.size()));
+  const Bytes ck_blob = ckpt_.serialize_state();
+  meta.put_blob(std::span<const std::byte>(ck_blob.data(), ck_blob.size()));
+  const Bytes meta_blob = meta.take();
+
+  ArchiveWriter w;
+  w.put_blob(std::span<const std::byte>(meta_blob.data(), meta_blob.size()));
+  if (kind == ReplicaStore::Update::Full) {
+    w.put(static_cast<std::uint64_t>(prev_wave_blobs_.size()));
+    for (const Bytes& b : prev_wave_blobs_)
+      w.put_blob(std::span<const std::byte>(b.data(), b.size()));
+  }
+  const std::size_t from =
+      kind == ReplicaStore::Update::Append ? replicated_waves_ : 0;
+  w.put(static_cast<std::uint64_t>(wave_blobs_.size() - from));
+  for (std::size_t i = from; i < wave_blobs_.size(); ++i)
+    w.put_blob(std::span<const std::byte>(wave_blobs_[i].data(),
+                                          wave_blobs_[i].size()));
+  // Shared, not borrowed: if THIS rank dies while waiting for the shadow's
+  // completion, the unwind must not free bytes the in-flight envelope still
+  // references — the shadow would parse garbage at the exact moment its
+  // replica matters most.
+  const auto payload = std::make_shared<const Bytes>(w.take());
+
+  HeadStateHeader h;
+  h.size = payload->size();
+  h.generation = ++replica_generation_;
+  h.reset = static_cast<std::uint8_t>(kind);
+  ArchiveWriter hw;
+  hw.put(h);
+  try {
+    events_->run(shadow, EventKind::HeadState, hw.take(),
+                 mpi::Payload::share(payload, payload->data(),
+                                     payload->size()));
+    shadow_rank_ = shadow;
+    replicated_waves_ = wave_blobs_.size();
+    ++stats_.replication_updates;
+    stats_.replication_bytes += static_cast<std::int64_t>(payload->size());
+  } catch (const WorkerDiedError&) {
+    // Shadow died under the update. Skip this round; the detector will
+    // shrink the live set and the next boundary resyncs (Full) to the new
+    // front. Generations stay strictly increasing across the gap, so the
+    // election invariant (freshest replica is unique) holds.
+  }
+}
+
+void Runtime::failover() {
+  const Stopwatch timer;
+  // The head's death opens the recovery-latency episode if nothing else
+  // did (mirrors rollback()).
+  std::int64_t expected = 0;
+  failure_detected_ns_.compare_exchange_strong(expected, now_ns(),
+                                               std::memory_order_acq_rel);
+  const mpi::Rank old_head = head_rank_;
+  if (bus_ == nullptr || !opts_.head_replication)
+    throw RecoveryError(
+        "head rank died and head replication is disabled "
+        "(ClusterOptions::head_replication); no failover possible");
+  OMPC_LOG_WARN("head rank " << old_head
+                             << " died; awaiting ring election");
+
+  // The agents' election needs detection (timeout) + candidacy window;
+  // bound the wait well above both so a slow CI machine cannot miss a
+  // legitimate winner, yet a cluster with no surviving replica holder
+  // still fails crisply.
+  const std::int64_t timeout_ms =
+      std::max<std::int64_t>(2000, 20 * opts_.heartbeat_timeout_ms);
+  const std::optional<mpi::Rank> winner =
+      bus_->await_new_head(head_epoch_, timeout_ms);
+  if (!winner)
+    throw RecoveryError(
+        "head rank " + std::to_string(old_head) +
+        " died and no surviving replica holder won the election; "
+        "head state is unrecoverable");
+
+  const MembershipBus::Node node = bus_->node(*winner);
+  OMPC_CHECK_MSG(node.events != nullptr && node.replica != nullptr,
+                 "elected head rank " << *winner
+                                      << " has no registered event system");
+  {
+    // Swap the event plane under fault_mutex_: detector threads snapshot
+    // events_ under the same lock in report_worker_failure().
+    std::lock_guard<std::mutex> lock(fault_mutex_);
+    head_rank_ = *winner;
+    head_epoch_ = bus_->epoch();
+    events_ = node.events;
+  }
+  dm_.rebind(events_);
+  ckpt_.rebind(events_);
+  adopt_replica();
+  schedule_cache_.clear();
+
+  // The old head is a corpse to the new event plane too: abort anything
+  // still referencing it and tell the workers.
+  events_->fail_rank(old_head);
+  events_->announce_rank_dead(old_head);
+  // Future detector reports (the promoted rank's agent receives them now)
+  // flow into this runtime.
+  bus_->set_failure_handler(
+      [this](mpi::Rank dead) { report_worker_failure(dead); });
+  // Workers that died while no head was listening: sweep liveness once so
+  // the rollback below (or the next wave's recovery round) processes them.
+  std::vector<mpi::Rank> gone;
+  for (const mpi::Rank r : live_workers_)
+    if (events_->is_rank_gone(r)) gone.push_back(r);
+  for (const mpi::Rank r : gone) report_worker_failure(r);
+
+  // Heap reconciliation: the dead head's bookkeeping for in-flight blocks
+  // is unrecoverable, so every survivor drops all device blocks except its
+  // checkpoint shadows; replay re-allocates from the adopted registry.
+  trim_worker_heaps();
+
+  if (!ckpt_.has_checkpoint())
+    throw RecoveryError(
+        "elected head adopted a replica with no committed checkpoint; "
+        "cannot resume");
+  events_->quiesce();
+  dm_.reset_all_to_host();
+  ckpt_.restore(dm_);
+  absorb_degraded_restore();
+  broadcast_membership();
+
+  ++stats_.recoveries;
+  stats_.recovery_ns += timer.elapsed_ns();
+  OMPC_LOG_WARN("failover: rank " << head_rank_ << " is the new head ("
+                                  << num_live_workers()
+                                  << " workers, resuming from wave "
+                                  << ckpt_.wave() << ")");
+}
+
+void Runtime::adopt_replica() {
+  const ReplicaStore::Snapshot snap =
+      bus_->node(head_rank_).replica->snapshot();
+  OMPC_CHECK_MSG(snap.generation > 0 && !snap.metadata.empty(),
+                 "elected head holds an empty replica");
+
+  ArchiveReader r(
+      std::span<const std::byte>(snap.metadata.data(), snap.metadata.size()));
+  RuntimeStats adopted{};
+  r.get_raw(&adopted, sizeof adopted);
+  std::vector<mpi::Rank> live = r.get_vector<mpi::Rank>();
+  std::vector<mpi::Rank> spares = r.get_vector<mpi::Rank>();
+  const Bytes dm_blob = r.get_blob();
+  const Bytes ck_blob = r.get_blob();
+
+  // Counters survive the handoff: adopt the replicated block, then count
+  // the handoff itself.
+  adopted.failovers = stats_.failovers;  // local view is authoritative here
+  stats_ = adopted;
+  ++stats_.failovers;
+
+  // The winner stops being a worker the moment it becomes the head.
+  live.erase(std::remove(live.begin(), live.end(), head_rank_), live.end());
+  spares.erase(std::remove(spares.begin(), spares.end(), head_rank_),
+               spares.end());
+  {
+    std::lock_guard<std::mutex> lock(fault_mutex_);
+    live_workers_ = std::move(live);
+  }
+  spare_pool_ = std::move(spares);
+  if (live_workers_.empty())
+    throw RecoveryError("cannot fail over: no worker survives the head");
+
+  dm_.adopt_registry(
+      std::span<const std::byte>(dm_blob.data(), dm_blob.size()));
+  ckpt_.adopt_state(
+      std::span<const std::byte>(ck_blob.data(), ck_blob.size()));
+
+  // Wave logs: the replica's blobs plus the local tail — this control
+  // thread is the surviving *client*, and waves it recorded that never
+  // reached the shadow (a replication round lost with the head) are
+  // resubmitted from its own cache, exactly like a client re-issuing
+  // unacknowledged requests. The merge aligns BY WAVE NUMBER, not by list
+  // position: the replica's first wave is the one recorded right after the
+  // adopted checkpoint's boundary (`ckpt_.wave()`), while the local lists
+  // may have been reset at a later boundary the replica never learned of —
+  // same lengths, one boundary apart, and a position splice would silently
+  // drop the wave the client is still waiting on.
+  const std::int64_t base = std::max<std::int64_t>(ckpt_.wave(), 0);
+  std::vector<Bytes> blobs = snap.waves;
+  std::int64_t next_seq = base + static_cast<std::int64_t>(blobs.size());
+  std::int64_t newest_local = -1;
+  const auto take_local = [&](std::int64_t seq) -> Bytes* {
+    for (std::size_t i = 0; i < wave_seqs_.size(); ++i)
+      if (wave_seqs_[i] == seq) return &wave_blobs_[i];
+    for (std::size_t i = 0; i < prev_wave_seqs_.size(); ++i)
+      if (prev_wave_seqs_[i] == seq) return &prev_wave_blobs_[i];
+    return nullptr;
+  };
+  for (const std::int64_t s : wave_seqs_) newest_local = std::max(newest_local, s);
+  for (const std::int64_t s : prev_wave_seqs_) newest_local = std::max(newest_local, s);
+  while (Bytes* b = take_local(next_seq)) {
+    blobs.push_back(std::move(*b));
+    ++next_seq;
+  }
+  if (newest_local >= next_seq)
+    throw RecoveryError(
+        "head failover cannot reconstruct wave " + std::to_string(next_seq) +
+        ": the replica ends before it and the client cache holds only waves "
+        "up to " + std::to_string(newest_local) + " with a gap between");
+  // The previous-period log belongs to the ADOPTED checkpoint's prior
+  // generation; local prev entries newer than that were promoted into the
+  // current log above.
+  std::vector<Bytes> prev_blobs = snap.prev_waves;
+
+  const auto buffer_size = [this](const void* addr) -> std::size_t {
+    // A buffer a replayed wave exits may not be in the adopted registry
+    // yet (restore re-registers it); its edge weight defaults harmlessly.
+    return dm_.is_registered(addr) ? dm_.buffer_size(addr) : 0;
+  };
+  wave_log_.clear();
+  for (const Bytes& b : blobs)
+    wave_log_.push_back(deserialize_graph(
+        std::span<const std::byte>(b.data(), b.size()), buffer_size));
+  wave_blobs_ = std::move(blobs);
+  prev_wave_log_.clear();
+  for (const Bytes& b : prev_blobs)
+    prev_wave_log_.push_back(deserialize_graph(
+        std::span<const std::byte>(b.data(), b.size()), buffer_size));
+  prev_wave_blobs_ = std::move(prev_blobs);
+
+  wave_seqs_.clear();
+  for (std::int64_t s = base; s < next_seq; ++s) wave_seqs_.push_back(s);
+  prev_wave_seqs_.clear();
+  for (std::int64_t s = base - static_cast<std::int64_t>(prev_wave_blobs_.size());
+       s < base; ++s)
+    prev_wave_seqs_.push_back(s);
+
+  // Replication continues from the adopted generation (monotonic across
+  // handoffs — the election invariant depends on it) to a fresh shadow.
+  replica_generation_ = snap.generation;
+  shadow_rank_ = -1;
+  replicated_waves_ = 0;
+}
+
+void Runtime::absorb_degraded_restore() {
+  if (!ckpt_.last_restore_degraded()) return;
+  // The restore fell back to the PRIOR checkpoint generation: the waves of
+  // the previous period must replay too. Splice them ahead of the current
+  // period's log (callers re-home any pointer into the vector).
+  wave_log_.insert(wave_log_.begin(),
+                   std::make_move_iterator(prev_wave_log_.begin()),
+                   std::make_move_iterator(prev_wave_log_.end()));
+  wave_blobs_.insert(wave_blobs_.begin(),
+                     std::make_move_iterator(prev_wave_blobs_.begin()),
+                     std::make_move_iterator(prev_wave_blobs_.end()));
+  wave_seqs_.insert(wave_seqs_.begin(), prev_wave_seqs_.begin(),
+                    prev_wave_seqs_.end());
+  prev_wave_log_.clear();
+  prev_wave_blobs_.clear();
+  prev_wave_seqs_.clear();
+  // The spliced log is one period again; force a Full resync so the shadow
+  // sees the same shape.
+  shadow_rank_ = -1;
+  OMPC_LOG_WARN("recovery: degraded restore — replaying "
+                << wave_log_.size() << " waves from the prior boundary");
+}
+
+void Runtime::trim_worker_heaps() {
+  std::vector<OriginEventPtr> acks;
+  std::vector<mpi::Rank> targets = live_workers_;
+  targets.push_back(head_rank_);  // the promoted rank's own worker heap
+  for (const mpi::Rank r : targets) {
+    if (events_->is_rank_gone(r)) continue;
+    const std::vector<offload::TargetPtr> keep = ckpt_.shadows_on(r);
+    ArchiveWriter w;
+    w.put(TrimHeapHeader{static_cast<std::uint64_t>(keep.size())});
+    for (const offload::TargetPtr p : keep) w.put(p);
+    try {
+      acks.push_back(events_->start(r, EventKind::TrimHeap, w.take()));
+    } catch (const WorkerDiedError&) {
+      // Died under the trim command; the liveness sweep picks it up.
+    }
+  }
+  for (const OriginEventPtr& ev : acks) {
+    try {
+      ev->wait();
+    } catch (const WorkerDiedError&) {
+    }
+  }
+}
+
+void Runtime::broadcast_membership() {
+  ArchiveWriter w;
+  MembershipUpdateHeader h;
+  h.head = head_rank_;
+  h.worker_count = live_workers_.size();
+  w.put(h);
+  for (const mpi::Rank r : live_workers_) w.put(r);
+  const Bytes header = w.take();
+  std::vector<OriginEventPtr> acks;
+  for (const mpi::Rank r : live_workers_) {
+    if (events_->is_rank_gone(r)) continue;
+    try {
+      acks.push_back(
+          events_->start(r, EventKind::MembershipUpdate, Bytes(header)));
+    } catch (const WorkerDiedError&) {
+    }
+  }
+  for (const OriginEventPtr& ev : acks) {
+    try {
+      ev->wait();
+    } catch (const WorkerDiedError&) {
+    }
+  }
+}
+
+// --- elastic membership (runtime join/leave) ------------------------------
+
+mpi::Rank Runtime::request_join() {
+  if (spare_pool_.empty()) return -1;
+  const mpi::Rank r = spare_pool_.front();
+  spare_pool_.erase(spare_pool_.begin());
+  pending_joins_.push_back(r);
+  return r;
+}
+
+bool Runtime::request_leave(mpi::Rank rank) {
+  if (std::find(live_workers_.begin(), live_workers_.end(), rank) ==
+      live_workers_.end())
+    return false;
+  if (live_workers_.size() <= 1) return false;  // never drain the last one
+  if (std::find(pending_leaves_.begin(), pending_leaves_.end(), rank) !=
+      pending_leaves_.end())
+    return false;
+  pending_leaves_.push_back(rank);
+  return true;
+}
+
+void Runtime::process_membership_requests() {
+  if (pending_joins_.empty() && pending_leaves_.empty()) return;
+  bool changed = false;
+  try {
+    while (!pending_leaves_.empty()) {
+      const mpi::Rank r = pending_leaves_.front();
+      if (std::find(live_workers_.begin(), live_workers_.end(), r) ==
+              live_workers_.end() ||
+          live_workers_.size() <= 1) {
+        pending_leaves_.erase(pending_leaves_.begin());
+        continue;  // died (or shrank to last) since the request
+      }
+      // Drain: the leaver may hold the sole valid copy of any buffer, so
+      // pull everything head-side first, then forget its replicas (no
+      // Delete events — the trim below frees wholesale) and shrink its
+      // heap down to the checkpoint shadows it still hosts: those stay
+      // fetchable, so snapshots buddy'd on a retired rank survive a later
+      // owner death.
+      std::vector<const void*> hosts;
+      dm_.for_each_buffer(
+          [&hosts](void* h, std::size_t) { hosts.push_back(h); });
+      dm_.refresh_head_many(hosts);
+      dm_.purge_rank(r);
+      const std::vector<offload::TargetPtr> keep = ckpt_.shadows_on(r);
+      ArchiveWriter w;
+      w.put(TrimHeapHeader{static_cast<std::uint64_t>(keep.size())});
+      for (const offload::TargetPtr p : keep) w.put(p);
+      events_->run(r, EventKind::TrimHeap, w.take());
+      {
+        std::lock_guard<std::mutex> lock(fault_mutex_);
+        live_workers_.erase(
+            std::remove(live_workers_.begin(), live_workers_.end(), r),
+            live_workers_.end());
+      }
+      spare_pool_.push_back(r);  // re-joinable later
+      pending_leaves_.erase(pending_leaves_.begin());
+      ++stats_.workers_retired;
+      changed = true;
+      OMPC_LOG_INFO("membership: worker rank "
+                    << r << " retired (" << live_workers_.size()
+                    << " remain)");
+    }
+    while (!pending_joins_.empty()) {
+      const mpi::Rank r = pending_joins_.front();
+      pending_joins_.erase(pending_joins_.begin());
+      if (events_->is_rank_gone(r)) continue;  // died while pending
+      {
+        std::lock_guard<std::mutex> lock(fault_mutex_);
+        live_workers_.insert(
+            std::upper_bound(live_workers_.begin(), live_workers_.end(), r),
+            r);
+      }
+      changed = true;
+      ++stats_.workers_joined;
+      // The joiner's ownership slice: every |live|-th buffer migrates to
+      // it worker->worker over the data plane, so its replicas are real
+      // (they survive a later owner death via the normal ownership map,
+      // and give HEFT locality to schedule against).
+      const std::size_t moved =
+          dm_.migrate_buffers(r, live_workers_.size());
+      OMPC_LOG_INFO("membership: worker rank "
+                    << r << " joined (" << live_workers_.size()
+                    << " live, " << moved << " buffers migrated)");
+    }
+  } catch (const WorkerDiedError& e) {
+    // A rank died under the membership change. Leave the remaining
+    // requests queued (they re-apply at the next boundary, after
+    // recovery); the failure itself goes through the normal machinery.
+    if (e.rank() >= 0) report_worker_failure(e.rank());
+  }
+  if (changed) {
+    // Schedules were computed for the old worker table.
+    schedule_cache_.clear();
+    broadcast_membership();
+    // Membership is head state: resync the replica eagerly so a failover
+    // in the very next wave sees the new table.
+    shadow_rank_ = -1;
+  }
 }
 
 RuntimeStats launch(const ClusterOptions& opts,
@@ -511,8 +1013,17 @@ RuntimeStats launch(const ClusterOptions& opts,
   uopts.network.channels = std::max(uopts.network.channels, opts.vci + 1);
 
   const int hb_comm_index = 1 + opts.vci;
-  const HeartbeatRing::Options hb_opts{opts.heartbeat_period_ms,
-                                       opts.heartbeat_timeout_ms};
+  HeartbeatRing::Options hb_opts;
+  hb_opts.period_ms = opts.heartbeat_period_ms;
+  hb_opts.timeout_ms = opts.heartbeat_timeout_ms;
+  hb_opts.adaptive = opts.heartbeat_adaptive;
+  hb_opts.min_timeout_ms = opts.heartbeat_min_timeout_ms;
+  hb_opts.dev_factor = opts.heartbeat_dev_factor;
+
+  // Election/replication rendezvous between the per-rank agents and the
+  // surviving control thread (shared-memory stand-in for connection
+  // re-establishment; see membership.hpp).
+  MembershipBus bus;
 
   mpi::Universe universe(uopts);
   universe.run([&](mpi::RankContext& ctx) {
@@ -521,7 +1032,14 @@ RuntimeStats launch(const ClusterOptions& opts,
       const Stopwatch startup;
       EventSystem events(ctx, opts, nullptr, nullptr);
 
-      Runtime rt(opts, events);
+      Runtime rt(opts, events, &bus);
+      // Teardown latch: whatever happens below (including error unwinds),
+      // a promoted worker's main thread must eventually be released to
+      // destroy the event system this control thread borrowed.
+      struct ControlReleaser {
+        MembershipBus& bus;
+        ~ControlReleaser() { bus.release_control(); }
+      } releaser{bus};
 
       // §5 failure detection: the head sits in the heartbeat ring (catching
       // its own predecessor's death) and runs a monitor thread collecting
@@ -536,16 +1054,28 @@ RuntimeStats launch(const ClusterOptions& opts,
       if (hb_on) {
         mpi::Comm hb = ctx.comm(hb_comm_index);
         ring = std::make_unique<HeartbeatRing>(
-            hb, hb_opts, [&rt](mpi::Rank dead) {
-              rt.report_worker_failure(dead);
+            hb, hb_opts, [&rt, hb](mpi::Rank dead) {
+              // A dead head stops hearing pings too — that silence is the
+              // head's OWN death, not the predecessor's. The failover
+              // machinery owns detection from here.
+              if (!hb.universe().is_dead(0)) rt.report_worker_failure(dead);
             });
         monitor = std::thread([&, hb] {
           log::set_thread_label("fmon");
           while (!monitor_stop.load(std::memory_order_acquire)) {
-            while (auto st = hb.iprobe(mpi::kAnySource, kFailureReportTag)) {
-              std::uint64_t dead = 0;
-              hb.recv(&dead, sizeof dead, st->source, kFailureReportTag);
-              rt.report_worker_failure(static_cast<mpi::Rank>(dead));
+            // After the head dies the promoted rank's membership agent is
+            // the failure monitor; this thread must stop touching the
+            // runtime (it would race the control thread's adoption).
+            if (hb.universe().is_dead(0)) break;
+            try {
+              while (
+                  auto st = hb.iprobe(mpi::kAnySource, kFailureReportTag)) {
+                std::uint64_t dead = 0;
+                hb.recv(&dead, sizeof dead, st->source, kFailureReportTag);
+                rt.report_worker_failure(static_cast<mpi::Rank>(dead));
+              }
+            } catch (const mpi::RankKilledError&) {
+              break;  // own mailbox poisoned: the head just died
             }
             // Once the ring has a hole, a further corpse whose successor is
             // already dead has no ring member left to flag it. Until the
@@ -553,7 +1083,7 @@ RuntimeStats launch(const ClusterOptions& opts,
             // universe-level liveness for the cascading case only — the
             // ring stays the sole detector of the first failure.
             if (rt.failures_reported() > 0) {
-              for (mpi::Rank r = 1; r <= opts.num_workers; ++r) {
+              for (mpi::Rank r = 1; r <= opts.total_workers(); ++r) {
                 if (hb.universe().is_dead(r)) rt.report_worker_failure(r);
               }
             }
@@ -610,7 +1140,19 @@ RuntimeStats launch(const ClusterOptions& opts,
         monitor_cv.notify_all();
         monitor.join();
       }
-      events.shutdown_cluster();
+      // Through the runtime's CURRENT event system: after a failover this
+      // is the promoted rank's, and the dead head's own system already
+      // stopped itself when its mailbox was poisoned. When the head died
+      // and nobody could be promoted (replica lost with it, or replication
+      // off), there is no live control plane left to deliver Shutdown —
+      // model the job scheduler reclaiming the allocation instead: poison
+      // the survivors, which unwinds their gate threads like any kill.
+      if (!ctx.universe().is_dead(rt.head_rank())) {
+        rt.events().shutdown_cluster();
+      } else {
+        for (mpi::Rank r = 1; r < static_cast<mpi::Rank>(opts.ranks()); ++r)
+          if (!ctx.universe().is_dead(r)) ctx.universe().kill_rank(r, 0);
+      }
       stats.shutdown_ns = shutdown.elapsed_ns();
       if (error) std::rethrow_exception(error);
 
@@ -639,7 +1181,12 @@ RuntimeStats launch(const ClusterOptions& opts,
       stats.buffers_lost = rs.buffers_lost;
       stats.replayed_tasks = rs.replayed_tasks;
       stats.recovery_ns = rs.recovery_ns;
-      stats.events_originated = events.stats().originated.load();
+      stats.failovers = rs.failovers;
+      stats.replication_updates = rs.replication_updates;
+      stats.replication_bytes = rs.replication_bytes;
+      stats.workers_joined = rs.workers_joined;
+      stats.workers_retired = rs.workers_retired;
+      stats.events_originated = rt.events().stats().originated.load();
       const DataManagerStats& ds = rt.data_manager().stats();
       stats.submits = ds.submits.load();
       stats.retrieves = ds.retrieves.load();
@@ -652,20 +1199,29 @@ RuntimeStats launch(const ClusterOptions& opts,
       // making this worker a put/get target for the one-sided data plane.
       WorkerMemory memory(&ctx.universe(), ctx.rank());
       omp::TaskRuntime exec_pool(opts.worker_threads);
-      EventSystem events(ctx, opts, &memory, &exec_pool);
-      // Ring detection on workers: report the dead predecessor to the
-      // head's failure monitor (rank 0 owns recovery).
-      std::unique_ptr<HeartbeatRing> ring;
+      // The replica store makes this rank a head-failover candidate: it
+      // accumulates HeadState updates (verbatim blobs) and its generation
+      // is the rank's ballot in the ring election.
+      ReplicaStore replica;
+      EventSystem events(ctx, opts, &memory, &exec_pool, &replica);
+      bus.register_node(ctx.rank(), &events, &replica);
+      // Membership agent: heartbeat ring + failure-report routing to the
+      // *current* head + the head-death election (membership.hpp).
+      std::unique_ptr<MembershipAgent> agent;
       if (hb_on) {
-        mpi::Comm hb = ctx.comm(hb_comm_index);
-        ring = std::make_unique<HeartbeatRing>(
-            hb, hb_opts, [hb](mpi::Rank dead) {
-              const std::uint64_t r = static_cast<std::uint64_t>(dead);
-              hb.send(&r, sizeof r, 0, kFailureReportTag);
-            });
+        MembershipAgent::Options aopts;
+        aopts.hb = hb_opts;
+        aopts.initial_head = 0;
+        agent = std::make_unique<MembershipAgent>(ctx.comm(hb_comm_index),
+                                                 aopts, &bus, &replica);
       }
       events.wait_until_stopped();
-      if (ring) ring->stop();
+      if (agent) agent->stop();
+      // A promoted worker's event system is being driven by the surviving
+      // control thread; destroying it underneath that thread would be a
+      // use-after-free. Wait for the control thread to finish completely.
+      if (bus.epoch() > 0 && bus.current_head() == ctx.rank())
+        bus.await_control_release();
     }
   });
 

@@ -76,6 +76,16 @@ struct RuntimeStats {
   std::int64_t recovery_latency_ns = 0;  ///< failure detection -> replay
                                          ///< complete, summed per episode
 
+  // Head failover + elastic membership (replicated head state, ring
+  // election, runtime join/leave). Counters survive a head handoff: the
+  // promoted head adopts the replica's stats block instead of zeroing.
+  std::int64_t failovers = 0;            ///< head deaths survived by election
+  std::int64_t replication_updates = 0;  ///< head-state deltas shipped to the
+                                         ///< shadow rank at wave boundaries
+  std::int64_t replication_bytes = 0;    ///< cumulative replication payload
+  std::int64_t workers_joined = 0;       ///< ranks admitted at runtime
+  std::int64_t workers_retired = 0;      ///< ranks drained and released
+
   // Schedule memoization (paper Fig. 7b: iterative apps re-record an
   // identical DAG every step; rescheduling it is pure head overhead).
   std::int64_t schedule_cache_hits = 0;  ///< waves served from the cache
@@ -110,11 +120,18 @@ class Args {
   ArchiveWriter scalars_;
 };
 
+class MembershipBus;
+
 class Runtime {
  public:
   /// Constructed by launch() on the head rank; user code receives it in
   /// the head_main callback. All methods are head-control-thread-only.
-  Runtime(const ClusterOptions& opts, EventSystem& events);
+  /// `bus` (optional) wires head-state replication and failover: with it,
+  /// the runtime mirrors its recording state to a shadow worker at every
+  /// wave boundary and, when the head rank dies, adopts the elected
+  /// successor's event system and resumes from the replicated state.
+  Runtime(const ClusterOptions& opts, EventSystem& events,
+          MembershipBus* bus = nullptr);
   ~Runtime();
 
   // --- recording API ----------------------------------------------------
@@ -160,7 +177,28 @@ class Runtime {
     return failures_reported_.load(std::memory_order_acquire);
   }
 
+  // --- elastic membership (head control thread) -------------------------
+
+  /// Requests that one spare rank (booted but idle; ClusterOptions::
+  /// spare_workers) join the worker set. Takes effect at the next wave
+  /// boundary: the joiner receives an ownership slice of the registered
+  /// buffers (migrated worker->worker over the data plane), the schedule
+  /// cache is invalidated so the next HEFT pass can place tasks on it, and
+  /// a MembershipUpdate is broadcast. Returns the joining rank, or -1 when
+  /// no spare is available.
+  mpi::Rank request_join();
+
+  /// Requests that worker `rank` leave the cluster. At the next boundary
+  /// its buffers are refreshed to the head, its device heap is trimmed down
+  /// to the checkpoint shadows it hosts, and the rank returns to the spare
+  /// pool (schedulable again by a later request_join). Returns false when
+  /// `rank` is not a live worker or is the last one.
+  bool request_leave(mpi::Rank rank);
+
   // --- introspection ----------------------------------------------------
+
+  /// Rank currently acting as head (changes after a failover).
+  mpi::Rank head_rank() const noexcept { return head_rank_; }
 
   int num_workers() const noexcept { return opts_.num_workers; }
   /// Workers still alive (shrinks when recovery drops a corpse).
@@ -168,6 +206,9 @@ class Runtime {
     return static_cast<int>(live_workers_.size());
   }
   const ClusterOptions& options() const noexcept { return opts_; }
+  /// The event system currently driven — the promoted rank's after a
+  /// failover (launch() shuts the cluster down through it).
+  EventSystem& events() noexcept { return *events_; }
   DataManager& data_manager() noexcept { return dm_; }
   CheckpointStore& checkpoints() noexcept { return ckpt_; }
   RuntimeStats& stats() noexcept { return stats_; }
@@ -197,8 +238,43 @@ class Runtime {
   void recover_from(mpi::Rank dead);
   ClusterGraph fresh_graph() const;
 
+  // --- head failover internals ------------------------------------------
+
+  /// Ships the head recording state to the shadow rank (the first live
+  /// worker): a Full resync when the shadow changed or `boundary` committed
+  /// a checkpoint (the wave log was cut), an Append of the new wave blobs
+  /// otherwise. Best-effort: a dying shadow is skipped this round and
+  /// resynced to its successor at the next boundary.
+  void replicate_head_state(bool boundary_reset);
+
+  /// The head rank died: await the ring election on the membership bus,
+  /// adopt the winner's event system and replica, re-home the DM and
+  /// checkpoint store, trim survivor heaps, and roll back to the last
+  /// committed wave. Throws RecoveryError when no replica holder survives
+  /// or no checkpoint exists to resume from.
+  void failover();
+
+  /// Rebuilds all recording state from the elected winner's replica blob.
+  void adopt_replica();
+
+  /// After a restore that fell back to the prior checkpoint generation:
+  /// splices the previous period's waves ahead of the current log so
+  /// replay starts from the prior boundary.
+  void absorb_degraded_restore();
+
+  /// Post-failover heap reset: every survivor frees all device blocks
+  /// except its checkpoint shadows (TrimHeap), so replay re-allocates from
+  /// a clean slate that matches the adopted host-resident registry.
+  void trim_worker_heaps();
+
+  /// Broadcasts a MembershipUpdate {head, worker_count} to live workers.
+  void broadcast_membership();
+
+  /// Applies pending join/leave requests at a wave boundary.
+  void process_membership_requests();
+
   const ClusterOptions opts_;
-  EventSystem& events_;
+  EventSystem* events_;
   DataManager dm_;
   /// Persistent dispatch pool: created once per launch, reused by every
   /// wave and recovery replay. Its size is the in-flight target-region
@@ -229,6 +305,31 @@ class Runtime {
   /// Start of the current recovery episode (first detection), 0 when none;
   /// run_with_recovery closes the episode when replay completes.
   std::atomic<std::int64_t> failure_detected_ns_{0};
+
+  // Head failover + elastic membership state (head control thread only).
+  mpi::Rank head_rank_ = 0;        ///< rank whose event system we drive
+  std::uint64_t head_epoch_ = 0;   ///< bumps on every handoff adoption
+  MembershipBus* bus_ = nullptr;
+  mpi::Rank shadow_rank_ = -1;     ///< current replication target
+  std::uint64_t replica_generation_ = 0;
+  std::size_t replicated_waves_ = 0;  ///< wave_blobs_ prefix already shipped
+  /// Serialized mirrors of wave_log_ (same indices): what replication ships
+  /// and what failover replays for waves the replica missed. prev_* mirror
+  /// the generation retained by the checkpoint store for degraded restores.
+  std::vector<Bytes> wave_blobs_;
+  std::vector<ClusterGraph> prev_wave_log_;
+  std::vector<Bytes> prev_wave_blobs_;
+  /// Global wave number of each wave_blobs_/prev_wave_blobs_ entry (same
+  /// indices). Failover merges the replica's log with the local tail BY
+  /// WAVE NUMBER: a position splice loses the current wave whenever the
+  /// head dies after a boundary reset but before that wave's replication
+  /// round commits (both lists then have the same length but are one
+  /// boundary apart).
+  std::vector<std::int64_t> wave_seqs_;
+  std::vector<std::int64_t> prev_wave_seqs_;
+  std::vector<mpi::Rank> spare_pool_;      ///< booted, idle, joinable ranks
+  std::vector<mpi::Rank> pending_joins_;   ///< applied at the next boundary
+  std::vector<mpi::Rank> pending_leaves_;
 };
 
 /// Runs `head_main` on the head rank of a freshly simulated cluster:

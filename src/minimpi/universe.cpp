@@ -185,13 +185,12 @@ void Universe::deliver_envelope(Envelope&& env) {
       return;
     case RmaOp::Put: {
       if (is_dead(env.dst)) return;  // corpse: bytes vanish, op was failed
-      std::byte* p =
-          windows_.resolve(env.dst, env.window, env.offset, env.payload.size());
-      if (p != nullptr) {
-        // The landing copy of a put — the one copy of the (in-process) RMA
-        // data plane, counted like a delivery fill.
+      // The landing copy of a put — the one copy of the (in-process) RMA
+      // data plane, counted like a delivery fill. fill() copies under the
+      // registry lock so a concurrent window destroy (the target freeing
+      // the block) cannot race the memcpy.
+      if (windows_.fill(env.dst, env.window, env.offset, env.payload)) {
         if (!env.payload.empty()) note_payload_copy(env.tag, env.payload.size());
-        env.payload.copy_to(p);
       } else {
         // The window vanished while the put was in flight (target freed the
         // block, e.g. during recovery). Like a payload whose receive was
@@ -220,15 +219,14 @@ void Universe::deliver_envelope(Envelope&& env) {
       reply.context = env.context;
       reply.op = RmaOp::GetReply;
       reply.op_id = env.op_id;
-      const std::byte* p = windows_.resolve(
-          env.dst, env.window, env.offset, static_cast<std::size_t>(env.rma_size));
-      if (p != nullptr) {
-        // Staging copy at the target (gets cannot borrow: the region may be
-        // freed while the reply is in flight). Counted for data tags.
+      // Staging copy at the target (gets cannot borrow: the region may be
+      // freed while the reply is in flight), done under the registry lock
+      // like a put's landing copy. Counted for data tags.
+      if (windows_.read(env.dst, env.window, env.offset,
+                        static_cast<std::size_t>(env.rma_size),
+                        &reply.payload)) {
         if (env.rma_size != 0)
           note_payload_copy(env.tag, static_cast<std::size_t>(env.rma_size));
-        reply.payload =
-            Payload::copy_of(p, static_cast<std::size_t>(env.rma_size));
       } else {
         // Unknown window: reply empty. The origin's Status.count stays 0,
         // so a caller that checks sees the short read.

@@ -34,15 +34,31 @@ void WindowRegistry::destroy(Rank rank, WindowId id) {
                       " on rank " + std::to_string(rank));
 }
 
-std::byte* WindowRegistry::resolve(Rank rank, WindowId id,
-                                   std::uint64_t offset,
-                                   std::size_t len) const {
+bool WindowRegistry::fill(Rank rank, WindowId id, std::uint64_t offset,
+                          const Payload& payload) const {
+  // The copy happens under the registry lock on purpose: handing out a raw
+  // pointer would let the owner destroy the window and free the bytes
+  // between resolution and the memcpy (a real use-after-free once the
+  // worker heap trims blocks after failover). Holding the lock makes
+  // destroy() a barrier: after it returns, no landing copy is in flight.
   std::lock_guard<std::mutex> lock(mutex_);
   const auto it = windows_.find({rank, id});
-  if (it == windows_.end()) return nullptr;
+  if (it == windows_.end()) return false;
   const Region& r = it->second;
-  if (offset > r.size || len > r.size - offset) return nullptr;
-  return r.base + offset;
+  if (offset > r.size || payload.size() > r.size - offset) return false;
+  payload.copy_to(r.base + offset);
+  return true;
+}
+
+bool WindowRegistry::read(Rank rank, WindowId id, std::uint64_t offset,
+                          std::size_t len, Payload* out) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  const auto it = windows_.find({rank, id});
+  if (it == windows_.end()) return false;
+  const Region& r = it->second;
+  if (offset > r.size || len > r.size - offset) return false;
+  *out = Payload::copy_of(r.base + offset, len);
+  return true;
 }
 
 std::size_t WindowRegistry::count(Rank rank) const {

@@ -64,13 +64,22 @@ class WindowRegistry {
   /// Unregisters; throws WindowError if (rank, id) is unknown.
   void destroy(Rank rank, WindowId id);
 
-  /// Resolves an access of `len` bytes at `offset` into (rank, id) to a
-  /// raw pointer, or nullptr when the window is unknown or the access is
-  /// out of bounds (the caller decides whether that is fatal — an in-flight
-  /// put can legitimately outlive its window, like a payload outliving a
-  /// cancelled receive).
-  std::byte* resolve(Rank rank, WindowId id, std::uint64_t offset,
-                     std::size_t len) const;
+  /// Lands a put: copies `payload` into (rank, id) at `offset` while
+  /// holding the registry lock, so a concurrent destroy() cannot race the
+  /// memcpy — once destroy returns, no in-flight put touches the region
+  /// and the owner may free the bytes. Returns false when the window is
+  /// unknown or the access is out of bounds (an in-flight put can
+  /// legitimately outlive its window, like a payload outliving a cancelled
+  /// receive; the caller drops the bytes and still acks).
+  bool fill(Rank rank, WindowId id, std::uint64_t offset,
+            const Payload& payload) const;
+
+  /// Stages a get: copies `len` bytes out of (rank, id) at `offset` into
+  /// `*out` under the registry lock (same exclusion guarantee as fill).
+  /// Returns false — leaving `*out` untouched — when the window is unknown
+  /// or the access is out of bounds.
+  bool read(Rank rank, WindowId id, std::uint64_t offset, std::size_t len,
+            Payload* out) const;
 
   std::size_t count(Rank rank) const;
 

@@ -9,6 +9,7 @@
 
 #include <cstdint>
 #include <functional>
+#include <string>
 #include <vector>
 
 #include "core/checkpoint.hpp"
@@ -125,14 +126,17 @@ const offload::KernelId kIncrement =
 
 TEST(WorkerLocalCheckpoint, OwnerAndBuddyDyingInOnePeriodIsRecoveryError) {
   // One buffer, one 30 ms task per wave: HEFT pins the task to the first
-  // worker (rank 1), whose ring buddy is rank 2. Both die inside one
-  // checkpoint period (no boundary can land between the kills because the
-  // in-flight wave cannot complete), so the latest snapshot's owner and
-  // buddy are both gone: recovery must surface a clean RecoveryError — the
-  // sole survivor (rank 3) holds no copy.
+  // worker (rank 1), whose ring buddy is rank 2. Both die at the same
+  // instant — any gap between the kills is a race, because recovery from
+  // the owner's death fetches the buddy's shadow to the head and the now
+  // head-resident entry would survive the buddy's later death. With no
+  // window for that hoist, the latest snapshot's owner and buddy are both
+  // gone and so is the prior generation's (same pinned placement):
+  // recovery must surface a clean RecoveryError — the sole survivor
+  // (rank 3) holds no copy.
   ClusterOptions opts = buddy_opts(3);
   opts.kills.push_back({1, 100'000'000});
-  opts.kills.push_back({2, 110'000'000});
+  opts.kills.push_back({2, 100'000'000});
 
   std::uint64_t cell = 0;
   const auto body = [&](core::Runtime& rt) {
@@ -292,6 +296,72 @@ TEST(WorkerLocalCheckpoint, SnapshotLostWhenEveryHolderDies) {
     dm.purge_rank(2);
     dm.reset_all_to_host();
     EXPECT_THROW(ckpt.restore(dm), RecoveryError);
+  });
+}
+
+TEST(WorkerLocalCheckpoint, DoubleKillFallsBackToPriorGeneration) {
+  // Generation 1 snapshots value 1 (owner rank 1, buddy rank 2); the write
+  // then moves to rank 3, so generation 2 snapshots value 2 with owner
+  // rank 3, buddy rank 1. Killing ranks 3 AND 1 voids generation 2 — but
+  // generation 1 still has a live holder (the buddy, rank 2), so restore
+  // degrades one period instead of failing the launch: value 1 comes
+  // back, flagged so the caller replays from the earlier boundary.
+  MiniCluster c(3);
+  c.run([](DataManager& dm, EventSystem& events, mpi::Universe& u) {
+    std::uint64_t cell = 0;
+    dm.register_buffer(&cell, sizeof cell);
+    CheckpointStore ckpt(&events, CheckpointLocality::Buddy);
+    const mpi::Rank live[] = {1, 2, 3};
+
+    write_on_worker(dm, events, 1, &cell, 1);
+    ckpt.capture(dm, 0, live);
+    write_on_worker(dm, events, 3, &cell, 2);
+    ckpt.capture(dm, 1, live);
+    EXPECT_EQ(ckpt.generation(), 2u);
+
+    kill_and_wait(u, 3);  // generation 2's owner...
+    kill_and_wait(u, 1);  // ...and its buddy
+    dm.purge_rank(3);
+    dm.purge_rank(1);
+    dm.reset_all_to_host();
+
+    ckpt.restore(dm);
+    EXPECT_EQ(cell, 1u);  // the prior generation's value
+    EXPECT_TRUE(ckpt.last_restore_degraded());
+    EXPECT_EQ(ckpt.wave(), 0);  // caller must replay from this boundary
+    EXPECT_EQ(ckpt.stats().degraded_restores, 1);
+  });
+}
+
+TEST(WorkerLocalCheckpoint, SnapshotLossNamesTheUnrecoverableBuffers) {
+  // When no generation survives, the error must say exactly which buffers
+  // are gone and who held them — the difference between a debuggable
+  // failure report and a shrug.
+  MiniCluster c(2);
+  c.run([](DataManager& dm, EventSystem& events, mpi::Universe& u) {
+    std::uint64_t cell = 0;
+    dm.register_buffer(&cell, sizeof cell);
+    CheckpointStore ckpt(&events, CheckpointLocality::Buddy);
+    const mpi::Rank live[] = {1, 2};
+
+    write_on_worker(dm, events, 1, &cell, 9);
+    ckpt.capture(dm, 0, live);
+
+    kill_and_wait(u, 1);
+    kill_and_wait(u, 2);
+    dm.purge_rank(1);
+    dm.purge_rank(2);
+    dm.reset_all_to_host();
+    try {
+      ckpt.restore(dm);
+      FAIL() << "restore with every holder dead must throw";
+    } catch (const RecoveryError& e) {
+      const std::string msg = e.what();
+      EXPECT_NE(msg.find("unrecoverable buffers"), std::string::npos) << msg;
+      EXPECT_NE(msg.find("owner=r1"), std::string::npos) << msg;
+      EXPECT_NE(msg.find("buddy=r2"), std::string::npos) << msg;
+      EXPECT_NE(msg.find("size=8"), std::string::npos) << msg;
+    }
   });
 }
 

@@ -49,6 +49,9 @@ TEST(Heartbeat, SilencedNodeIsDetectedByItsSuccessor) {
     HeartbeatRing::Options opts;
     opts.period_ms = 5;
     opts.timeout_ms = 50;
+    // pause() silences the rank without killing it — disable the
+    // liveness confirmation to test the bare ring protocol.
+    opts.verify_liveness = false;
     HeartbeatRing ring(ctx.world().dup(), opts, [&](mpi::Rank dead) {
       failures.fetch_add(1);
       flagged_rank.store(dead);
@@ -66,6 +69,88 @@ TEST(Heartbeat, SilencedNodeIsDetectedByItsSuccessor) {
   });
   EXPECT_EQ(failures.load(), 1);  // fired exactly once, by rank 2
   EXPECT_EQ(flagged_rank.load(), 1);
+}
+
+TEST(Heartbeat, AdaptiveThresholdTightensOnAQuietRing) {
+  // A healthy, punctual ring converges its EWMA-derived miss threshold
+  // well below the fixed worst-case timeout — detection speed becomes a
+  // property of measured behaviour, not static configuration.
+  mpi::Universe::launch(instant(2), [](mpi::RankContext& ctx) {
+    HeartbeatRing::Options opts;
+    opts.period_ms = 2;
+    opts.timeout_ms = 200;
+    opts.adaptive = true;
+    HeartbeatRing ring(ctx.world().dup(), opts, nullptr);
+    precise_sleep_ns(250'000'000);  // ~125 punctual pings
+    const std::int64_t threshold = ring.current_threshold_ns();
+    EXPECT_LT(threshold, opts.timeout_ms * 1'000'000 / 2)
+        << "threshold never tightened below half the fixed timeout";
+    // The auto floor (4 periods) holds: no hair-trigger detection.
+    EXPECT_GE(threshold, 4 * opts.period_ms * 1'000'000);
+    EXPECT_FALSE(ring.predecessor_failed());
+    ring.stop();
+  });
+}
+
+TEST(Heartbeat, AdaptiveThresholdRespectsConfiguredFloor) {
+  mpi::Universe::launch(instant(2), [](mpi::RankContext& ctx) {
+    HeartbeatRing::Options opts;
+    opts.period_ms = 2;
+    opts.timeout_ms = 200;
+    opts.adaptive = true;
+    opts.min_timeout_ms = 75;  // operator override beats the estimate
+    HeartbeatRing ring(ctx.world().dup(), opts, nullptr);
+    precise_sleep_ns(200'000'000);
+    EXPECT_GE(ring.current_threshold_ns(), 75'000'000);
+    EXPECT_LE(ring.current_threshold_ns(), 200'000'000);
+    ring.stop();
+  });
+}
+
+TEST(Heartbeat, AdaptiveRingStillDetectsARealDeath) {
+  // Tight adaptive thresholds must not change the outcome that matters:
+  // an actually-dead neighbour (universe-level kill, liveness confirmed)
+  // is flagged, and faster than the fixed timeout would allow.
+  std::atomic<int> flagged_rank{-1};
+  mpi::UniverseOptions uo = instant(3);
+  uo.kills.push_back({1, 60'000'000});  // rank 1 dies at 60 ms
+  mpi::Universe u(uo);
+  u.run([&](mpi::RankContext& ctx) {
+    HeartbeatRing::Options opts;
+    opts.period_ms = 5;
+    opts.timeout_ms = 100;
+    opts.adaptive = true;
+    HeartbeatRing ring(ctx.world().dup(), opts, [&](mpi::Rank dead) {
+      flagged_rank.store(dead);
+    });
+    precise_sleep_ns(250'000'000);
+    ring.stop();
+  });
+  EXPECT_EQ(flagged_rank.load(), 1);
+}
+
+TEST(Heartbeat, StarvedRingThreadDoesNotDeclareALivePeer) {
+  // The false-alarm guard: a rank that goes SILENT (paused) while still
+  // alive in the universe is NOT declared dead when liveness verification
+  // is on — the miss is treated as scheduler starvation and the adaptive
+  // threshold widens instead.
+  std::atomic<int> failures{0};
+  mpi::Universe::launch(instant(3), [&](mpi::RankContext& ctx) {
+    HeartbeatRing::Options opts;
+    opts.period_ms = 5;
+    opts.timeout_ms = 40;
+    opts.adaptive = true;
+    HeartbeatRing ring(ctx.world().dup(), opts,
+                       [&](mpi::Rank) { failures.fetch_add(1); });
+    if (ctx.rank() == 1) {
+      precise_sleep_ns(20'000'000);
+      ring.pause();  // silent but alive
+    }
+    precise_sleep_ns(200'000'000);
+    EXPECT_FALSE(ring.predecessor_failed());
+    ring.stop();
+  });
+  EXPECT_EQ(failures.load(), 0);
 }
 
 TEST(Heartbeat, SingleRankRingIsNoop) {
