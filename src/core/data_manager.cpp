@@ -10,11 +10,16 @@ namespace ompc::core {
 
 DataManager::DataManager(EventSystem& events, const ClusterOptions& opts)
     : events_(&events), opts_(opts) {
+  // Elastic (ROADMAP "elastic pool sizing"): the ceiling is the old fixed
+  // launch size — it still bounds concurrent fetches — but only a small
+  // floor spawns upfront; fan-outs grow the pool on demand and idle growth
+  // retires. Spawns are counted straight into stats_ by the pool (growth
+  // happens mid-run, on transfer threads, where we cannot poll).
   const int n = opts_.transfer_threads > 0 ? opts_.transfer_threads
                                            : opts_.cluster_pool_threads();
-  transfer_pool_ = std::make_unique<HelperPool>(n, "xfer");
-  stats_.threads_spawned.fetch_add(transfer_pool_->num_threads(),
-                                   std::memory_order_relaxed);
+  transfer_pool_ = std::make_unique<HelperPool>(
+      opts_.pool_floor(n), n, opts_.pool_idle_shrink_ms, "xfer",
+      &stats_.threads_spawned);
 }
 
 void DataManager::register_buffer(void* host, std::size_t size) {

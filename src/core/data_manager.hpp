@@ -195,6 +195,10 @@ class DataManager {
 
   const DataManagerStats& stats() const { return stats_; }
 
+  /// The elastic transfer pool (Runtime folds its peak/retire counters
+  /// into RuntimeStats; tests assert the elasticity).
+  const HelperPool& transfer_pool() const { return *transfer_pool_; }
+
  private:
   /// Per-(buffer, worker) replica lifecycle. Concurrent readers fanning one
   /// buffer out to different workers overlap (each replica is its own
@@ -247,9 +251,10 @@ class DataManager {
   std::unordered_set<const void*> dirty_;
 
   /// Shared transfer pool for prepare_args fan-out — created with the
-  /// manager (once per launch, like the dispatch pool) so the
-  /// "threads_spawned is wave-count-independent" invariant holds
-  /// unconditionally; sized by ClusterOptions::transfer_threads.
+  /// manager (once per launch, like the dispatch pool). Elastic: capped at
+  /// ClusterOptions::transfer_threads (auto: cluster_pool_threads), grown
+  /// on demand from a small floor. Growth is demand-based, so
+  /// threads_spawned stays wave-count-independent for steady workloads.
   std::unique_ptr<HelperPool> transfer_pool_;
 
   DataManagerStats stats_;

@@ -155,12 +155,14 @@ std::function<void()> HostFnRegistry::get(std::uint64_t handle) const {
 
 Bytes serialize_graph(const ClusterGraph& g) {
   ArchiveWriter w;
+  w.put<std::int32_t>(g.tenant());
   w.put<std::uint64_t>(g.size());
   for (const ClusterTask& t : g.tasks()) {
     w.put(t.type);
     w.put(t.kernel);
     w.put(t.cost_s);
     w.put<std::uint64_t>(reinterpret_cast<std::uintptr_t>(t.buffer));
+    w.put<std::uint64_t>(t.buffer_bytes);
     w.put<std::uint8_t>(t.copy ? 1 : 0);
     w.put(t.host_fn_handle);
     w.put<std::uint64_t>(t.buffer_args.size());
@@ -181,6 +183,7 @@ ClusterGraph deserialize_graph(
     std::function<std::size_t(const void*)> buffer_size) {
   ArchiveReader r(data);
   ClusterGraph g(std::move(buffer_size));
+  g.set_tenant(r.get<std::int32_t>());
   const auto n = r.get<std::uint64_t>();
   for (std::uint64_t i = 0; i < n; ++i) {
     ClusterTask t;
@@ -189,6 +192,7 @@ ClusterGraph deserialize_graph(
     t.cost_s = r.get<double>();
     t.buffer = reinterpret_cast<const void*>(
         static_cast<std::uintptr_t>(r.get<std::uint64_t>()));
+    t.buffer_bytes = static_cast<std::size_t>(r.get<std::uint64_t>());
     t.copy = r.get<std::uint8_t>() != 0;
     t.host_fn_handle = r.get<std::uint64_t>();
     if (t.host_fn_handle != 0)

@@ -21,6 +21,7 @@
 #include <vector>
 
 #include "common/serialize.hpp"
+#include "core/tenant.hpp"
 #include "offload/kernel_registry.hpp"
 #include "omptask/dep.hpp"
 
@@ -41,6 +42,12 @@ struct ClusterTask {
   // Data tasks.
   const void* buffer = nullptr;
   bool copy = true;  ///< enter: copy payload; exit: copy back to host
+  /// DataEnter only: the mapping's byte size. Session-recorded enters defer
+  /// DM registration to execution time (the session thread must not mutate
+  /// the registry while another tenant's wave is in flight), so the size
+  /// must travel with the task — and with the serialized wave log, where it
+  /// also lets a promoted head replay an enter it never saw registered.
+  std::size_t buffer_bytes = 0;
 
   // Host tasks. A std::function cannot cross a serialization boundary, so
   // the closure is interned in the process-wide HostFnRegistry and the
@@ -112,8 +119,25 @@ class ClusterGraph {
   /// Bytes attached to the edge from->to (0 when absent).
   std::size_t edge_bytes(int from, int to) const;
 
+  /// The submission stream this wave belongs to. Deliberately NOT part of
+  /// structural_hash(): two tenants recording the same DAG shape share a
+  /// schedule-cache entry, which is the whole point of the memoization.
+  /// It IS part of serialize_graph(), so wave-log entries stay
+  /// tenant-scoped across head failover and per-tenant recovery
+  /// accounting survives the handoff.
+  TenantId tenant() const noexcept { return tenant_; }
+  void set_tenant(TenantId t) noexcept { tenant_ = t; }
+
+  /// Replaces the edge-weight resolver (used when a session hands its
+  /// graph to the runtime: the recording-time resolver points into
+  /// session-owned state, the submitted graph gets a self-contained one).
+  void set_buffer_size_fn(std::function<std::size_t(const void*)> fn) {
+    buffer_size_ = std::move(fn);
+  }
+
  private:
   std::function<std::size_t(const void*)> buffer_size_;
+  TenantId tenant_ = kDefaultTenant;
   std::vector<ClusterTask> tasks_;
   std::vector<Edge> edges_;
   bool edges_built_ = false;

@@ -85,10 +85,29 @@ struct ClusterOptions {
   /// Per-worker threads for second-level parallelism inside kernels.
   int worker_threads = 2;
 
-  /// Threads in the head's persistent transfer pool (prepare_args fans the
+  /// Ceiling of the head's persistent transfer pool (prepare_args fans the
   /// buffer fetches of multi-input tasks out to it, replacing per-buffer
-  /// thread spawns). 0 = auto: 16 + 3 * num_workers.
+  /// thread spawns). 0 = auto: 16 + 3 * num_workers. The pool is elastic:
+  /// it starts at pool_min_threads and grows on demand up to this bound.
   int transfer_threads = 0;
+
+  /// Floor of the elastic dispatch/transfer pools: threads kept alive even
+  /// when the pools sit idle. 0 = auto: min(ceiling, 4 + num_workers).
+  /// The ceilings stay what they always were (helper_threads respectively
+  /// transfer_threads/cluster_pool_threads()), so the §7 in-flight-region
+  /// bound is unchanged — only launch cost and idle footprint shrink.
+  int pool_min_threads = 0;
+
+  /// An elastic pool thread that sits idle this long (and is above the
+  /// floor) retires. Long enough that steady per-wave traffic never churns
+  /// threads (bench/micro_hotpath gates 0 spawns per steady wave); 0 keeps
+  /// every spawned thread for the whole launch.
+  std::int64_t pool_idle_shrink_ms = 500;
+
+  /// Admission control (multi-tenancy): max waves queued per tenant before
+  /// Runtime::submit throws AdmissionError (submit_wait blocks instead).
+  /// 0 = unbounded.
+  int max_pending_waves = 8;
 
   /// Number of data communicators; events are striped over them by tag
   /// (the paper's VCI usage, §4.2/§6.1).
@@ -181,6 +200,13 @@ struct ClusterOptions {
   /// every worker's executor and transfer pipeline. Used for the TwoStep
   /// dispatch pool and as the transfer-pool default.
   int cluster_pool_threads() const noexcept { return 16 + 3 * num_workers; }
+
+  /// Resolved elastic-pool floor for a pool capped at `max_threads`.
+  int pool_floor(int max_threads) const noexcept {
+    const int floor = pool_min_threads > 0 ? pool_min_threads
+                                           : 4 + num_workers;
+    return floor < max_threads ? floor : max_threads;
+  }
 };
 
 }  // namespace ompc::core

@@ -34,11 +34,15 @@ Runtime::Runtime(const ClusterOptions& opts, EventSystem& events,
   // TwoStep: the §7 fix decouples in-flight regions from head cores; its
   // pool scales with the *cluster* (enough to saturate every worker's
   // executor and transfer pipeline) instead of the head's thread count.
+  // Elastic: the bound is the pool's *ceiling*; only a small floor spawns
+  // at launch, demand grows it, idle growth retires (ROADMAP "elastic pool
+  // sizing" — a 2-worker test cluster no longer pays for 48 threads).
   const int helpers = std::max(1, opts_.async_mode == AsyncMode::HelperThreads
                                       ? opts_.helper_threads
                                       : opts_.cluster_pool_threads());
-  helpers_ = std::make_unique<HelperPool>(helpers, "hh");
-  stats_.threads_spawned += helpers_->num_threads();
+  helpers_ = std::make_unique<HelperPool>(opts_.pool_floor(helpers), helpers,
+                                          opts_.pool_idle_shrink_ms, "hh");
+  stats_.threads_spawned = helpers_->threads_spawned();
 }
 
 Runtime::~Runtime() = default;
@@ -55,6 +59,7 @@ void Runtime::enter_data(void* host, std::size_t size, bool copy) {
   ClusterTask t;
   t.type = TaskType::DataEnter;
   t.buffer = host;
+  t.buffer_bytes = size;
   t.copy = copy;
   // Listing 1: enter data carries depend(out: *A) — it is the first writer.
   t.deps = {omp::out(host)};
@@ -120,6 +125,13 @@ void Runtime::execute_task(const ClusterTask& t, int proc) {
   };
   switch (t.type) {
     case TaskType::DataEnter:
+      // Session-recorded enters defer registration to execution time (the
+      // submitting thread must not mutate the registry while another
+      // tenant's wave is in flight); legacy and replayed enters find the
+      // buffer already registered and skip. The task carries its mapping
+      // size precisely for this moment.
+      if (!dm_.is_registered(t.buffer))
+        dm_.register_buffer(const_cast<void*>(t.buffer), t.buffer_bytes);
       dm_.enter_to_worker(rank_of_proc(proc), t.buffer, t.copy);
       return;
     case TaskType::DataExit:
@@ -153,6 +165,12 @@ void Runtime::execute_task(const ClusterTask& t, int proc) {
 void Runtime::dispatch(const ClusterGraph& graph, const ScheduleResult& sched) {
   const std::size_t n = graph.size();
   if (n == 0) return;
+
+  // Grow the elastic pool to the wave's worst-case concurrency (every task
+  // in flight at once), capped by the ceiling that bounds in-flight target
+  // regions. A structural announcement, so identical waves spawn
+  // identically — and a steady-state wave spawns nothing at all.
+  helpers_->reserve(static_cast<int>(n));
 
   // Dependence-driven execution on the persistent helper pool: each ready
   // task becomes one job, and a job stays blocked inside execute_task() for
@@ -258,6 +276,7 @@ void Runtime::run_wave(const ClusterGraph& graph) {
     // (The size check makes a 64-bit key collision a miss, not an
     // out-of-bounds dispatch.)
     ++stats_.schedule_cache_hits;
+    note_cache_hit(graph.tenant());
     stats_.makespan_estimate_s = it->second.makespan_estimate_s;
     last_ = it->second;
     dispatch(graph, it->second);
@@ -430,12 +449,17 @@ void Runtime::run_with_recovery(const ClusterGraph* current, bool replaying) {
           run_wave(wave_log_[i]);
           stats_.replayed_tasks +=
               static_cast<std::int64_t>(wave_log_[i].size());
+          note_replay(wave_log_[i].tenant(),
+                      static_cast<std::int64_t>(wave_log_[i].size()));
         }
       }
       if (current != nullptr) {
         run_wave(*current);
-        if (replaying)
+        if (replaying) {
           stats_.replayed_tasks += static_cast<std::int64_t>(current->size());
+          note_replay(current->tenant(),
+                      static_cast<std::int64_t>(current->size()));
+        }
       }
       // Replay complete: close the recovery-latency episode. Guarded on
       // `replaying` so a detection landing after the wave finished is left
@@ -448,7 +472,12 @@ void Runtime::run_with_recovery(const ClusterGraph* current, bool replaying) {
         if (const std::int64_t t0 = failure_detected_ns_.exchange(
                 0, std::memory_order_acq_rel);
             t0 != 0) {
-          stats_.recovery_latency_ns += now_ns() - t0;
+          const std::int64_t latency = now_ns() - t0;
+          stats_.recovery_latency_ns += latency;
+          // The episode's latency is charged to every tenant whose waves
+          // it replayed — concurrent streams keep honest per-tenant
+          // recovery accounting instead of sharing one global counter.
+          close_tenant_episode(latency);
         }
       }
       return;
@@ -496,7 +525,13 @@ void Runtime::wait_all() {
       run_with_recovery(nullptr, false);
     return;
   }
-  graph_.build_edges();
+  ClusterGraph wave = std::move(graph_);
+  graph_ = fresh_graph();
+  execute_wave(std::move(wave));
+}
+
+void Runtime::execute_wave(ClusterGraph&& wave) {
+  wave.build_edges();
 
   const bool ft = opts_.checkpoint_period > 0;
   bool replaying = false;
@@ -536,23 +571,446 @@ void Runtime::wait_all() {
     }
     // Log the wave for replay (moved, not copied — it is executed from the
     // log); kept until the next checkpoint makes the waves since the
-    // previous one unreachable by recovery.
-    wave_log_.push_back(std::move(graph_));
-    graph_ = fresh_graph();
+    // previous one unreachable by recovery. The serialized blob carries the
+    // wave's tenant, so the log — and any replica adopted after a head
+    // death — stays tenant-scoped.
+    wave_log_.push_back(std::move(wave));
     wave_blobs_.push_back(serialize_graph(wave_log_.back()));
     wave_seqs_.push_back(wave_index_);
+    // Pool/tenant aggregates ride in the replicated stats block; fold the
+    // latest counters in before the state ships.
+    refresh_derived_stats();
     // Mirror the head state to the shadow rank BEFORE executing: if the
     // head dies mid-wave, the promoted successor holds this very wave and
     // replays it — that is the bitwise-identical failover guarantee.
     replicate_head_state(boundary_reset);
     run_with_recovery(&wave_log_.back(), replaying);
   } else {
-    run_with_recovery(&graph_, replaying);
-    graph_ = fresh_graph();
+    run_with_recovery(&wave, replaying);
   }
 
   ++wave_index_;
   ++stats_.waves;
+}
+
+// --- multi-tenancy (tenant queues, WDRR fair-share, admission) ------------
+
+TenantId Runtime::create_tenant(double weight) {
+  std::lock_guard<std::mutex> lock(tenants_mutex_);
+  const TenantId id = next_tenant_++;
+  TenantState& ts = tenants_[id];
+  ts.stats.weight = weight > 0.0 ? weight : 1.0;
+  return id;
+}
+
+Runtime::TenantState& Runtime::tenant_state_locked(TenantId tenant) {
+  // find-or-create: kDefaultTenant (and ids minted elsewhere after a head
+  // failover) get a queue lazily with the default weight.
+  return tenants_[tenant];
+}
+
+void Runtime::enqueue_locked(TenantState& ts, ClusterGraph&& wave,
+                             TenantId tenant) {
+  wave.set_tenant(tenant);
+  ++ts.stats.submitted_waves;
+  ts.stats.tasks += static_cast<std::int64_t>(wave.size());
+  ts.queue.push_back(PendingWave{std::move(wave), now_ns()});
+  tenants_cv_.notify_all();
+}
+
+void Runtime::submit(ClusterGraph&& wave, TenantId tenant) {
+  std::lock_guard<std::mutex> lock(tenants_mutex_);
+  TenantState& ts = tenant_state_locked(tenant);
+  if (serving_stopped_ && serve_error_) {
+    ++ts.stats.rejected_waves;
+    throw AdmissionError(tenant, "serve loop failed; submission refused");
+  }
+  const std::int64_t cap = opts_.max_pending_waves;
+  if (cap > 0 && static_cast<std::int64_t>(ts.queue.size()) >= cap) {
+    // Backpressure: the wave is NOT consumed — the caller's rvalue is
+    // intact (nothing was moved from it yet), so a retry or submit_wait
+    // can resend the same recording.
+    ++ts.stats.rejected_waves;
+    throw AdmissionError(tenant,
+                         "tenant queue full (" + std::to_string(cap) +
+                             " pending waves); retry or use submit_wait");
+  }
+  enqueue_locked(ts, std::move(wave), tenant);
+}
+
+void Runtime::submit_wait(ClusterGraph&& wave, TenantId tenant) {
+  std::unique_lock<std::mutex> lock(tenants_mutex_);
+  TenantState& ts = tenant_state_locked(tenant);
+  const std::int64_t cap = opts_.max_pending_waves;
+  tenants_cv_.wait(lock, [&] {
+    return (serving_stopped_ && serve_error_) || cap <= 0 ||
+           static_cast<std::int64_t>(ts.queue.size()) < cap;
+  });
+  if (serving_stopped_ && serve_error_) {
+    ++ts.stats.rejected_waves;
+    throw AdmissionError(tenant, "serve loop failed while waiting for space");
+  }
+  enqueue_locked(ts, std::move(wave), tenant);
+}
+
+bool Runtime::pick_wave_locked(TenantId* tenant, PendingWave* wave) {
+  // Weighted deficit round-robin at wave granularity (non-preemptive: a
+  // picked wave runs to completion). The token RESTS on a tenant: it keeps
+  // spending its deficit on consecutive waves until it can no longer afford
+  // the next one — that is what makes service weight-proportional instead
+  // of alternating. Deficit replenishes only when the token ARRIVES at a
+  // tenant with work; empty queues forfeit their credit (classic DRR).
+  constexpr double kQuantumTasks = 4.0;
+
+  bool any = false;
+  for (const auto& [id, ts] : tenants_) {
+    (void)id;
+    if (!ts.queue.empty()) {
+      any = true;
+      break;
+    }
+  }
+  if (!any) return false;
+
+  auto next = [this](std::map<TenantId, TenantState>::iterator it) {
+    ++it;
+    return it == tenants_.end() ? tenants_.begin() : it;
+  };
+  const auto cost_of = [](const PendingWave& w) {
+    return std::max<double>(1.0, static_cast<double>(w.graph.size()));
+  };
+
+  auto it = tenants_.find(wdrr_token_);
+  bool fresh_arrival = false;
+  if (it == tenants_.end()) {
+    it = tenants_.begin();
+    fresh_arrival = true;
+  }
+  // Bounded walk: each full cycle adds >= one quantum to some non-empty
+  // queue, so a pick happens within a few cycles; the guard is belt and
+  // braces against a pathological weight.
+  for (int hops = 0; hops < static_cast<int>(tenants_.size()) * 64 + 64;
+       ++hops) {
+    TenantState& ts = it->second;
+    if (ts.queue.empty()) {
+      ts.deficit = 0.0;  // forfeits unused credit (bounds burstiness)
+      it = next(it);
+      fresh_arrival = true;
+      continue;
+    }
+    if (fresh_arrival)
+      ts.deficit += kQuantumTasks * std::max(ts.stats.weight, 1e-6);
+    const double cost = cost_of(ts.queue.front());
+    if (cost <= ts.deficit) {
+      ts.deficit -= cost;
+      *tenant = it->first;
+      *wave = std::move(ts.queue.front());
+      ts.queue.pop_front();
+      ++ts.executing;
+      if (ts.queue.empty()) ts.deficit = 0.0;
+      wdrr_token_ = it->first;
+      tenants_cv_.notify_all();  // queue space freed for submit_wait
+      return true;
+    }
+    it = next(it);
+    fresh_arrival = true;
+  }
+  // Unreachable with sane weights; treat as empty rather than spin.
+  return false;
+}
+
+void Runtime::serve_tenants() {
+  {
+    std::lock_guard<std::mutex> lock(tenants_mutex_);
+    serving_stopped_ = false;
+    serve_error_ = nullptr;
+  }
+  try {
+    for (;;) {
+      // Membership changes commit between tenant waves, same as between
+      // wait_all() waves — the cluster is quiescent here.
+      process_membership_requests();
+
+      TenantId tenant = kDefaultTenant;
+      PendingWave wave;
+      bool picked = false;
+      bool finished = false;
+      {
+        std::unique_lock<std::mutex> lock(tenants_mutex_);
+        tenants_cv_.wait_for(lock, std::chrono::milliseconds(2), [&] {
+          if (open_sessions_.load(std::memory_order_acquire) == 0)
+            return true;
+          for (const auto& [id, ts] : tenants_) {
+            (void)id;
+            if (!ts.queue.empty()) return true;
+          }
+          return false;
+        });
+        picked = pick_wave_locked(&tenant, &wave);
+        if (!picked) {
+          bool drained = true;
+          for (const auto& [id, ts] : tenants_) {
+            (void)id;
+            if (!ts.queue.empty() || ts.executing > 0) drained = false;
+          }
+          finished =
+              drained && open_sessions_.load(std::memory_order_acquire) == 0;
+        }
+      }
+      if (finished) break;
+      if (!picked) {
+        // Idle instant: a failure reported between waves still needs the
+        // between-waves repair path so buffers are not left on a corpse.
+        if (failure_pending_.load(std::memory_order_acquire))
+          run_with_recovery(nullptr, false);
+        continue;
+      }
+
+      // Task-mix accounting happens here (the session recorded off the
+      // head thread, so the recording API's counters never saw the tasks).
+      for (const ClusterTask& t : wave.graph.tasks()) {
+        switch (t.type) {
+          case TaskType::Target: ++stats_.target_tasks; break;
+          case TaskType::Host: ++stats_.host_tasks; break;
+          default: ++stats_.data_tasks; break;
+        }
+      }
+      ++stats_.tenant_waves;
+
+      const std::int64_t start_ns = now_ns();
+      const std::int64_t submit_ns = wave.submit_ns;
+      execute_wave(std::move(wave.graph));
+      finish_tenant_wave(tenant, submit_ns, start_ns);
+    }
+    // Final repair sweep, mirroring wait_all()'s empty-graph path.
+    if (failure_pending_.load(std::memory_order_acquire))
+      run_with_recovery(nullptr, false);
+  } catch (...) {
+    {
+      std::lock_guard<std::mutex> lock(tenants_mutex_);
+      serving_stopped_ = true;
+      serve_error_ = std::current_exception();
+    }
+    tenants_cv_.notify_all();
+    throw;
+  }
+  {
+    std::lock_guard<std::mutex> lock(tenants_mutex_);
+    serving_stopped_ = true;
+  }
+  tenants_cv_.notify_all();
+}
+
+void Runtime::finish_tenant_wave(TenantId tenant, std::int64_t submit_ns,
+                                 std::int64_t start_ns) {
+  const std::int64_t end_ns = now_ns();
+  std::lock_guard<std::mutex> lock(tenants_mutex_);
+  TenantState& ts = tenant_state_locked(tenant);
+  --ts.executing;
+  ++ts.stats.completed_waves;
+  ts.stats.queue_wait_ns += start_ns - submit_ns;
+  ts.stats.wave_latency_ns.push_back(end_ns - submit_ns);
+  tenants_cv_.notify_all();
+}
+
+void Runtime::wait_tenant(TenantId tenant) {
+  std::unique_lock<std::mutex> lock(tenants_mutex_);
+  TenantState& ts = tenant_state_locked(tenant);
+  tenants_cv_.wait(lock, [&] {
+    return (ts.queue.empty() && ts.executing == 0) || serving_stopped_;
+  });
+  if (ts.queue.empty() && ts.executing == 0) return;
+  if (serve_error_) std::rethrow_exception(serve_error_);
+  throw AdmissionError(tenant, "serving stopped before the queue drained");
+}
+
+TenantStats Runtime::tenant_stats(TenantId tenant) const {
+  std::lock_guard<std::mutex> lock(tenants_mutex_);
+  auto it = tenants_.find(tenant);
+  return it == tenants_.end() ? TenantStats{} : it->second.stats;
+}
+
+void Runtime::note_cache_hit(TenantId tenant) {
+  std::lock_guard<std::mutex> lock(tenants_mutex_);
+  if (auto it = tenants_.find(tenant); it != tenants_.end())
+    ++it->second.stats.schedule_cache_hits;
+}
+
+void Runtime::note_replay(TenantId tenant, std::int64_t tasks) {
+  {
+    std::lock_guard<std::mutex> lock(tenants_mutex_);
+    if (auto it = tenants_.find(tenant); it != tenants_.end())
+      it->second.stats.replayed_tasks += tasks;
+  }
+  // episode_tenants_ is head-control-thread state (like the episode clock);
+  // no lock needed for it.
+  if (std::find(episode_tenants_.begin(), episode_tenants_.end(), tenant) ==
+      episode_tenants_.end())
+    episode_tenants_.push_back(tenant);
+}
+
+void Runtime::close_tenant_episode(std::int64_t latency_ns) {
+  std::lock_guard<std::mutex> lock(tenants_mutex_);
+  for (TenantId tenant : episode_tenants_) {
+    if (auto it = tenants_.find(tenant); it != tenants_.end()) {
+      ++it->second.stats.recoveries;
+      it->second.stats.recovery_latency_ns += latency_ns;
+    }
+  }
+  episode_tenants_.clear();
+}
+
+void Runtime::refresh_derived_stats() {
+  stats_.threads_spawned = helpers_->threads_spawned();
+  const HelperPool& xfer = dm_.transfer_pool();
+  stats_.pool_threads_peak = helpers_->peak_threads() + xfer.peak_threads();
+  stats_.pool_threads_retired =
+      helpers_->threads_retired() + xfer.threads_retired();
+  std::lock_guard<std::mutex> lock(tenants_mutex_);
+  stats_.tenants = static_cast<std::int64_t>(tenants_.size());
+  std::int64_t rejections = 0;
+  for (const auto& [id, ts] : tenants_) {
+    (void)id;
+    rejections += ts.stats.rejected_waves;
+  }
+  stats_.admission_rejections = rejections;
+}
+
+// --- TenantSession --------------------------------------------------------
+
+TenantSession::TenantSession(Runtime& rt, TenantId tenant)
+    : rt_(&rt), tenant_(tenant), graph_(fresh()) {
+  rt_->open_sessions_.fetch_add(1, std::memory_order_acq_rel);
+}
+
+TenantSession::~TenantSession() { close(); }
+
+ClusterGraph TenantSession::fresh() const {
+  // The resolver is installed at submit time (a snapshot of sizes_); until
+  // then the graph only records, so any lookup would be a logic error.
+  return ClusterGraph([](const void*) -> std::size_t {
+    OMPC_CHECK_MSG(false, "buffer-size lookup before session submit");
+    return 0;
+  });
+}
+
+void TenantSession::enter_data(void* host, std::size_t size, bool copy) {
+  OMPC_CHECK_MSG(!closed_, "enter_data on a closed tenant session");
+  OMPC_CHECK_MSG(sizes_.emplace(host, size).second,
+                 "buffer " << host << " entered twice in tenant session "
+                           << tenant_);
+  ClusterTask t;
+  t.type = TaskType::DataEnter;
+  t.buffer = host;
+  t.buffer_bytes = size;
+  t.copy = copy;
+  t.deps = {omp::out(host)};
+  graph_.add_task(std::move(t));
+}
+
+void TenantSession::exit_data(void* host, bool copy) {
+  OMPC_CHECK_MSG(!closed_, "exit_data on a closed tenant session");
+  OMPC_CHECK_MSG(sizes_.count(host) != 0,
+                 "exit_data for buffer " << host
+                                         << " never entered in this session");
+  OMPC_CHECK_MSG(std::find(exited_.begin(), exited_.end(), host) ==
+                     exited_.end(),
+                 "exit_data for buffer " << host << " recorded twice");
+  // Deferred removal: the exit wave's own dependences resolve this buffer,
+  // so it leaves sizes_ only when the wave submits.
+  exited_.push_back(host);
+  ClusterTask t;
+  t.type = TaskType::DataExit;
+  t.buffer = host;
+  t.copy = copy;
+  t.deps = {omp::inout(host)};
+  graph_.add_task(std::move(t));
+}
+
+int TenantSession::target(omp::DepList deps, offload::KernelId kernel,
+                          Args args, double cost_s) {
+  OMPC_CHECK_MSG(!closed_, "target on a closed tenant session");
+  for (const void* b : args.buffers()) {
+    const bool listed =
+        std::any_of(deps.begin(), deps.end(),
+                    [&](const omp::Dep& d) { return d.addr == b; });
+    OMPC_CHECK_MSG(listed, "target buffer argument "
+                               << b << " missing from depend list");
+    OMPC_CHECK_MSG(sizes_.count(b) != 0,
+                   "target buffer argument "
+                       << b << " was never entered in this session");
+  }
+  ClusterTask t;
+  t.type = TaskType::Target;
+  t.kernel = kernel;
+  t.buffer_args = args.buffers();
+  t.scalars = args.take_scalars();
+  t.deps = std::move(deps);
+  t.cost_s = cost_s;
+  return graph_.add_task(std::move(t));
+}
+
+int TenantSession::host_task(std::function<void()> fn, omp::DepList deps) {
+  OMPC_CHECK_MSG(!closed_, "host_task on a closed tenant session");
+  ClusterTask t;
+  t.type = TaskType::Host;
+  t.host_fn_handle = HostFnRegistry::instance().intern(fn);
+  t.host_fn = std::move(fn);
+  t.deps = std::move(deps);
+  return graph_.add_task(std::move(t));
+}
+
+void TenantSession::submit_impl(bool blocking) {
+  OMPC_CHECK_MSG(!closed_, "submit on a closed tenant session");
+  if (graph_.empty()) return;
+  // The head thread hashes/builds the wave while this thread keeps
+  // recording the next one: the resolver must not read live session state.
+  // A snapshot closure makes the wave self-contained.
+  auto sizes = std::make_shared<const std::unordered_map<const void*,
+                                                         std::size_t>>(sizes_);
+  graph_.set_buffer_size_fn([sizes](const void* addr) -> std::size_t {
+    auto it = sizes->find(addr);
+    OMPC_CHECK_MSG(it != sizes->end(),
+                   "dependence on buffer " << addr
+                                           << " not entered in this session");
+    return it->second;
+  });
+  ClusterGraph wave = std::move(graph_);
+  graph_ = fresh();
+  try {
+    if (blocking) {
+      rt_->submit_wait(std::move(wave), tenant_);
+    } else {
+      rt_->submit(std::move(wave), tenant_);
+    }
+  } catch (...) {
+    // Admission refused the wave un-consumed: keep it recorded so the
+    // caller can retry (or fall back to submit_wait).
+    graph_ = std::move(wave);
+    throw;
+  }
+  // The wave (and its snapshot) is in flight: recorded exits now leave the
+  // session registry, so the buffers can be re-entered in a later wave.
+  for (const void* host : exited_) sizes_.erase(host);
+  exited_.clear();
+}
+
+void TenantSession::submit() { submit_impl(false); }
+void TenantSession::submit_wait() { submit_impl(true); }
+
+void TenantSession::wait() {
+  OMPC_CHECK_MSG(!closed_, "wait on a closed tenant session");
+  rt_->wait_tenant(tenant_);
+}
+
+void TenantSession::close() {
+  if (closed_) return;
+  closed_ = true;
+  rt_->open_sessions_.fetch_sub(1, std::memory_order_acq_rel);
+  // Wake the serve loop so "all sessions closed + queues drained" is
+  // re-evaluated immediately.
+  std::lock_guard<std::mutex> lock(rt_->tenants_mutex_);
+  rt_->tenants_cv_.notify_all();
 }
 
 // --- head failover (replicated state, election adoption) -----------------
@@ -1157,6 +1615,7 @@ RuntimeStats launch(const ClusterOptions& opts,
       if (error) std::rethrow_exception(error);
 
       // Merge head-side counters.
+      rt.refresh_derived_stats();
       RuntimeStats& rs = rt.stats();
       stats.schedule_ns = rs.schedule_ns;
       stats.waves = rs.waves;
@@ -1186,6 +1645,11 @@ RuntimeStats launch(const ClusterOptions& opts,
       stats.replication_bytes = rs.replication_bytes;
       stats.workers_joined = rs.workers_joined;
       stats.workers_retired = rs.workers_retired;
+      stats.tenants = rs.tenants;
+      stats.tenant_waves = rs.tenant_waves;
+      stats.admission_rejections = rs.admission_rejections;
+      stats.pool_threads_peak = rs.pool_threads_peak;
+      stats.pool_threads_retired = rs.pool_threads_retired;
       stats.events_originated = rt.events().stats().originated.load();
       const DataManagerStats& ds = rt.data_manager().stats();
       stats.submits = ds.submits.load();

@@ -20,7 +20,10 @@
 #pragma once
 
 #include <atomic>
+#include <condition_variable>
+#include <deque>
 #include <functional>
+#include <map>
 #include <memory>
 #include <mutex>
 #include <unordered_map>
@@ -32,6 +35,7 @@
 #include "core/heft.hpp"
 #include "core/helper_pool.hpp"
 #include "core/options.hpp"
+#include "core/tenant.hpp"
 
 namespace ompc::core {
 
@@ -92,9 +96,20 @@ struct RuntimeStats {
 
   // Hot-path counters (bench/micro_hotpath asserts these, not eyeballs).
   std::int64_t threads_spawned = 0;  ///< head-side pool threads created —
-                                     ///< once per launch, 0 per steady wave
+                                     ///< floor at launch + demand growth,
+                                     ///< 0 per steady wave
   std::int64_t payload_copies = 0;   ///< data-plane payload byte-copies
                                      ///< across the whole cluster
+
+  // Multi-tenancy + elastic pools (aggregates of the per-tenant
+  // TenantStats and the pools' own counters; refreshed at wave boundaries
+  // and before launch() merges, so they survive head failover with the
+  // rest of this POD block).
+  std::int64_t tenants = 0;               ///< tenant queues ever opened
+  std::int64_t tenant_waves = 0;          ///< waves served through them
+  std::int64_t admission_rejections = 0;  ///< AdmissionError throws
+  std::int64_t pool_threads_peak = 0;     ///< dispatch+transfer high water
+  std::int64_t pool_threads_retired = 0;  ///< idle-shrink retirements
 };
 
 /// Builder for a target region's positional arguments: device buffers
@@ -163,6 +178,51 @@ class Runtime {
   /// throws RecoveryError instead of hanging.
   void wait_all();
 
+  // --- multi-tenancy ----------------------------------------------------
+  //
+  // N independent DAG streams share the cluster: each tenant records waves
+  // through a TenantSession (any thread), submits them into a bounded
+  // per-tenant queue, and the head control thread pumps serve_tenants(),
+  // which picks ready waves across tenants with weighted deficit
+  // round-robin and runs each through the same engine as wait_all() — so
+  // checkpointing, rollback and head failover apply to tenant waves
+  // unchanged, and the wave log stays tenant-scoped (ClusterGraph::tenant
+  // rides in the serialized entries).
+
+  /// Registers a tenant queue and returns its id. `weight` scales the
+  /// tenant's WDRR share (2.0 = twice the service of a weight-1.0 tenant
+  /// under contention). Thread-safe.
+  TenantId create_tenant(double weight = 1.0);
+
+  /// Queues one recorded wave for `tenant`. Thread-safe; throws
+  /// AdmissionError when the tenant's queue holds max_pending_waves
+  /// entries (the wave is not consumed — retry or submit_wait) or when
+  /// serving has stopped.
+  void submit(ClusterGraph&& wave, TenantId tenant);
+
+  /// Blocking submit: waits for queue space instead of throwing. Still
+  /// throws AdmissionError if serving stops while waiting.
+  void submit_wait(ClusterGraph&& wave, TenantId tenant);
+
+  /// Head-control-thread pump: serves queued waves across tenants (WDRR)
+  /// until every TenantSession has closed and all queues have drained.
+  /// Create the sessions BEFORE calling this — an instant with no open
+  /// session and no queued wave reads as "all tenants done". Recovery
+  /// errors propagate after waking all blocked submitters/waiters.
+  void serve_tenants();
+
+  /// Blocks until every wave `tenant` submitted so far has completed (or
+  /// rethrows the serve loop's failure).
+  void wait_tenant(TenantId tenant);
+
+  /// Snapshot of a tenant's counters (thread-safe copy).
+  TenantStats tenant_stats(TenantId tenant) const;
+
+  /// Folds pool/tenant aggregates into the POD stats block (head control
+  /// thread; launch() calls it before merging, wave boundaries keep the
+  /// replicated copy fresh).
+  void refresh_derived_stats();
+
   // --- fault handling ---------------------------------------------------
 
   /// Failure-detector entry point (heartbeat ring / failure monitor
@@ -217,8 +277,16 @@ class Runtime {
   const ScheduleResult& last_schedule() const noexcept { return last_; }
 
  private:
+  friend class TenantSession;
+
   void execute_task(const ClusterTask& t, int proc);
   void dispatch(const ClusterGraph& graph, const ScheduleResult& sched);
+  /// The shared wave engine: build edges, checkpoint/log/replicate when
+  /// fault tolerance is on, run with the §5 recovery loop, advance the
+  /// wave index. Both the legacy wait_all() path and the tenant serve
+  /// loop execute waves through here, which is what makes recovery and
+  /// failover tenant-agnostic.
+  void execute_wave(ClusterGraph&& wave);
   /// Schedules `graph` onto the surviving workers and dispatches it.
   void run_wave(const ClusterGraph& graph);
   /// Runs `current` (nullable) with the §5 recovery loop around it: on a
@@ -330,6 +398,115 @@ class Runtime {
   std::vector<mpi::Rank> spare_pool_;      ///< booted, idle, joinable ranks
   std::vector<mpi::Rank> pending_joins_;   ///< applied at the next boundary
   std::vector<mpi::Rank> pending_leaves_;
+
+  // --- multi-tenancy state ----------------------------------------------
+
+  struct PendingWave {
+    ClusterGraph graph;
+    std::int64_t submit_ns = 0;
+  };
+  struct TenantState {
+    std::deque<PendingWave> queue;
+    TenantStats stats;
+    double deficit = 0.0;  ///< WDRR credit carried while waiting
+    int executing = 0;     ///< popped waves not yet completed (0 or 1)
+  };
+
+  TenantState& tenant_state_locked(TenantId tenant);
+  void enqueue_locked(TenantState& ts, ClusterGraph&& wave, TenantId tenant);
+  /// One WDRR pick: resumes at the token holder, replenishing deficits as
+  /// the token advances, until some tenant can afford its head wave.
+  /// Returns false when every queue is empty.
+  bool pick_wave_locked(TenantId* tenant, PendingWave* wave);
+  /// Completion bookkeeping for a served wave (latency sample, queue-wait,
+  /// executing--), then wakes submitters and waiters.
+  void finish_tenant_wave(TenantId tenant, std::int64_t submit_ns,
+                          std::int64_t start_ns);
+  /// Attribution hooks called from the wave engine (head control thread).
+  void note_cache_hit(TenantId tenant);
+  void note_replay(TenantId tenant, std::int64_t tasks);
+  /// Charges a closed recovery episode's latency to every tenant whose
+  /// waves it replayed (episode_tenants_), then clears the set.
+  void close_tenant_episode(std::int64_t latency_ns);
+
+  /// Guards tenants_ and the serve flags; tenants_cv_ signals submissions,
+  /// completions, session closes and serve-loop termination.
+  mutable std::mutex tenants_mutex_;
+  std::condition_variable tenants_cv_;
+  /// Ordered map: WDRR visits tenants in id order, deterministically.
+  std::map<TenantId, TenantState> tenants_;
+  TenantId next_tenant_ = 1;
+  TenantId wdrr_token_ = -1;  ///< tenant whose deficit the token rests on
+  std::atomic<int> open_sessions_{0};
+  bool serving_stopped_ = false;     ///< serve loop exited (or never ran)
+  std::exception_ptr serve_error_;   ///< rethrown to blocked waiters
+  /// Tenants with waves replayed in the open recovery episode (head
+  /// control thread only, like the episode clock it mirrors).
+  std::vector<TenantId> episode_tenants_;
+};
+
+/// Per-tenant recording surface: the same enter/exit/target/host_task API
+/// as Runtime, but thread-confined to the tenant's own thread and detached
+/// from the legacy single-graph state. A session validates dependences
+/// against the buffers *it* entered (tenants own disjoint buffer sets —
+/// host pointers are the namespace, so sharing one buffer across tenants
+/// is a recording error, not a data race), and DM registration is deferred
+/// to the wave's execution on the head control thread.
+///
+/// Lifecycle: create all sessions, spawn one submitter thread each, then
+/// pump Runtime::serve_tenants() from the head control thread. close()
+/// (or destruction) marks the stream finished; the serve loop exits once
+/// every session has closed and the queues have drained.
+class TenantSession {
+ public:
+  /// Opens a session for `tenant` (from Runtime::create_tenant).
+  TenantSession(Runtime& rt, TenantId tenant);
+  ~TenantSession();
+
+  TenantSession(const TenantSession&) = delete;
+  TenantSession& operator=(const TenantSession&) = delete;
+
+  /// `target enter data nowait map(to:)` — recorded; the DM learns of the
+  /// buffer when the wave executes.
+  void enter_data(void* host, std::size_t size, bool copy = true);
+  void exit_data(void* host, bool copy = true);
+  int target(omp::DepList deps, offload::KernelId kernel, Args args,
+             double cost_s = 0.0);
+  int host_task(std::function<void()> fn, omp::DepList deps = {});
+
+  /// Tasks recorded since the last submit.
+  bool has_recorded() const noexcept { return !graph_.empty(); }
+
+  /// Submits the recorded wave (throws AdmissionError when the tenant's
+  /// queue is full — the wave stays recorded for a retry).
+  void submit();
+  /// Blocking variant: waits for queue space (backpressure).
+  void submit_wait();
+
+  /// Waits until every submitted wave has completed.
+  void wait();
+
+  /// Marks the stream finished (idempotent; the destructor calls it).
+  /// Unsubmitted recorded tasks are discarded.
+  void close();
+
+  TenantId tenant() const noexcept { return tenant_; }
+
+ private:
+  ClusterGraph fresh() const;
+  void submit_impl(bool blocking);
+
+  Runtime* rt_;
+  TenantId tenant_;
+  bool closed_ = false;
+  /// Buffers this session entered (host ptr -> bytes): the session-local
+  /// registry that stands in for the DM at recording time.
+  std::unordered_map<const void*, std::size_t> sizes_;
+  /// Buffers exit_data recorded in the wave being built: still resolvable
+  /// (the exit wave's own dependences name them) until the wave submits,
+  /// erased from sizes_ then.
+  std::vector<const void*> exited_;
+  ClusterGraph graph_;
 };
 
 /// Runs `head_main` on the head rank of a freshly simulated cluster:

@@ -1,0 +1,20 @@
+#include "core/tenant.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace ompc::core {
+
+std::int64_t TenantStats::latency_percentile_ns(double p) const {
+  if (wave_latency_ns.empty()) return 0;
+  std::vector<std::int64_t> sorted = wave_latency_ns;
+  std::sort(sorted.begin(), sorted.end());
+  p = std::clamp(p, 0.0, 100.0);
+  // Nearest-rank: the smallest sample with at least p% of the mass at or
+  // below it — exact for the small sample counts the soak/bench produce.
+  const auto rank = static_cast<std::size_t>(
+      std::ceil(p / 100.0 * static_cast<double>(sorted.size())));
+  return sorted[rank == 0 ? 0 : rank - 1];
+}
+
+}  // namespace ompc::core

@@ -1,0 +1,79 @@
+// Multi-tenancy primitives: tenant identity, per-tenant statistics and the
+// admission-control error surfaced when a tenant's submission queue is full.
+//
+// The paper's runtime serves one task graph at a time; a production head
+// node serves many independent DAG streams sharing one cluster. Each stream
+// is a *tenant*: it records waves through a TenantSession (runtime.hpp),
+// submits them into a bounded per-tenant queue, and the head's serve loop
+// interleaves ready waves across tenants with weighted deficit round-robin.
+// Everything here is plain data — the scheduling itself lives in Runtime.
+#pragma once
+
+#include <cstdint>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+namespace ompc::core {
+
+/// Identifies one submission stream. Tenant 0 is the legacy single-graph
+/// surface (Runtime::enter_data/.../wait_all records on behalf of it), so
+/// its counters stay meaningful for programs that never create a session.
+using TenantId = std::int32_t;
+inline constexpr TenantId kDefaultTenant = 0;
+
+/// Thrown by Runtime::submit when a tenant's queue is at
+/// ClusterOptions::max_pending_waves (backpressure: the head is saturated)
+/// or when the serve loop has already stopped. The rejected wave is NOT
+/// lost — the session keeps it recorded so the caller can retry or switch
+/// to the blocking submit_wait().
+class AdmissionError : public std::runtime_error {
+ public:
+  AdmissionError(TenantId tenant, const std::string& what)
+      : std::runtime_error(what), tenant_(tenant) {}
+  TenantId tenant() const noexcept { return tenant_; }
+
+ private:
+  TenantId tenant_;
+};
+
+/// Per-tenant slice of the runtime counters. The global RuntimeStats block
+/// stays a trivially-copyable POD (it is replicated raw to the shadow rank
+/// for head failover), so the per-tenant view — which carries a latency
+/// sample vector for tail percentiles — lives in this separate struct,
+/// guarded by the runtime's tenant mutex.
+struct TenantStats {
+  double weight = 1.0;  ///< WDRR share: credit per scheduler visit
+
+  std::int64_t submitted_waves = 0;  ///< waves accepted into the queue
+  std::int64_t completed_waves = 0;  ///< waves executed to completion
+  std::int64_t rejected_waves = 0;   ///< AdmissionError throws
+  std::int64_t tasks = 0;            ///< tasks across accepted waves
+
+  /// Waves of THIS tenant served from the memoized schedule (the global
+  /// schedule_cache_hits counter cannot attribute a hit once graphs from
+  /// several tenants interleave through one cache).
+  std::int64_t schedule_cache_hits = 0;
+
+  // §5 recovery, scoped per tenant: an episode's rollback+replay latency is
+  // charged to every tenant whose waves were replayed, so concurrent
+  // streams don't corrupt each other's recovery accounting.
+  std::int64_t recoveries = 0;           ///< episodes that replayed this
+                                         ///< tenant's waves
+  std::int64_t replayed_tasks = 0;       ///< this tenant's re-executed tasks
+  std::int64_t recovery_latency_ns = 0;  ///< detection -> replay complete,
+                                         ///< summed over its episodes
+
+  std::int64_t queue_wait_ns = 0;  ///< submit -> dispatch start, summed
+
+  /// submit -> completion per wave, in completion order. The raw samples
+  /// (not a digest): soak runs are bounded, and exact percentiles keep the
+  /// bench gate honest.
+  std::vector<std::int64_t> wave_latency_ns;
+
+  /// Nearest-rank percentile of wave_latency_ns, p in [0, 100].
+  /// 0 when no wave has completed.
+  std::int64_t latency_percentile_ns(double p) const;
+};
+
+}  // namespace ompc::core

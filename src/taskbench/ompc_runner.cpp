@@ -6,9 +6,12 @@
 // §4.3 restriction), which is exactly what lets the Data Manager place and
 // forward data with no explicit communication in this file — the whole
 // point of the programming model.
+#include <memory>
+#include <thread>
 #include <vector>
 
 #include "common/check.hpp"
+#include "common/log.hpp"
 #include "taskbench/kernel.hpp"
 #include "taskbench/runners.hpp"
 
@@ -114,6 +117,108 @@ RunResult run_ompc(const TaskBenchSpec& spec,
 RunResult run_ompc_stepwise(const TaskBenchSpec& spec,
                             const core::ClusterOptions& opts) {
   return run_ompc_impl(spec, opts, /*stepwise=*/true);
+}
+
+// --- multi-tenancy --------------------------------------------------------
+
+void drive_tenant_stream(core::TenantSession& session, TenantStream& stream) {
+  const TaskBenchSpec& spec = stream.spec;
+  const auto w = static_cast<std::size_t>(spec.width);
+  const std::size_t out_bytes = std::max<std::size_t>(16, spec.output_bytes);
+
+  // The stream owns its ping-pong rows: tenants use disjoint buffer sets
+  // (host pointers are the cluster-wide namespace), and the rows outlive
+  // every wave because wait() below returns only after the exit wave.
+  std::vector<std::vector<Bytes>> rows(2, std::vector<Bytes>(w));
+  for (auto& row : rows)
+    for (auto& b : row) b.assign(out_bytes, std::byte{0});
+
+  for (auto& row : rows)
+    for (auto& b : row) session.enter_data(b.data(), b.size());
+
+  for (int t = 0; t < spec.steps; ++t) {
+    auto& cur = rows[static_cast<std::size_t>(t % 2)];
+    auto& prev = rows[static_cast<std::size_t>((t + 1) % 2)];
+    for (int i = 0; i < spec.width; ++i) {
+      core::Args args;
+      omp::DepList deps;
+      Bytes& out = cur[static_cast<std::size_t>(i)];
+      args.buf(out.data());
+      deps.push_back(omp::inout(out.data()));
+      for (int j : dependencies(spec, t, i)) {
+        Bytes& in = prev[static_cast<std::size_t>(j)];
+        args.buf(in.data());
+        deps.push_back(omp::in(in.data()));
+      }
+      args.scalar(t).scalar(i).scalar(spec.mode).scalar(spec.iterations)
+          .scalar<std::uint64_t>(out_bytes);
+      session.target(std::move(deps), kPointKernel, std::move(args),
+                     spec.task_seconds());
+    }
+    // One wave per step (wave 0 carries the enters too). Blocking submit:
+    // backpressure instead of AdmissionError when the queue is full.
+    session.submit_wait();
+  }
+
+  const auto final_row = static_cast<std::size_t>((spec.steps - 1) % 2);
+  for (std::size_t p = 0; p < 2; ++p)
+    for (auto& b : rows[p]) session.exit_data(b.data(), p == final_row);
+  session.submit_wait();
+  session.wait();
+
+  std::vector<std::uint64_t> digests;
+  digests.reserve(w);
+  for (const Bytes& b : rows[final_row]) digests.push_back(read_digest(b));
+  stream.checksum = combine_digests(digests);
+}
+
+core::RuntimeStats run_multi_tenant(const core::ClusterOptions& opts,
+                                    std::vector<TenantStream>& streams) {
+  return core::launch(opts, [&](core::Runtime& rt) {
+    // Sessions must exist before serve_tenants(): an instant with no open
+    // session and no queued wave reads as "all tenants done".
+    std::vector<std::unique_ptr<core::TenantSession>> sessions;
+    sessions.reserve(streams.size());
+    for (TenantStream& st : streams) {
+      st.tenant = rt.create_tenant(st.weight);
+      sessions.push_back(
+          std::make_unique<core::TenantSession>(rt, st.tenant));
+    }
+
+    std::vector<std::exception_ptr> errors(streams.size());
+    std::vector<std::thread> submitters;
+    submitters.reserve(streams.size());
+    for (std::size_t i = 0; i < streams.size(); ++i) {
+      submitters.emplace_back([&, i] {
+        log::set_thread_label("tenant" + std::to_string(streams[i].tenant));
+        try {
+          drive_tenant_stream(*sessions[i], streams[i]);
+        } catch (...) {
+          errors[i] = std::current_exception();
+        }
+        // Close even on error, or the serve loop would wait forever for
+        // this stream to finish.
+        sessions[i]->close();
+      });
+    }
+
+    std::exception_ptr serve_error;
+    try {
+      rt.serve_tenants();
+    } catch (...) {
+      // serve_tenants wakes every blocked submitter before rethrowing, so
+      // the joins below terminate.
+      serve_error = std::current_exception();
+    }
+    for (std::thread& th : submitters) th.join();
+    for (TenantStream& st : streams) st.stats = rt.tenant_stats(st.tenant);
+
+    // The serve loop's failure is the root cause (submitter errors are
+    // usually its AdmissionError shadow); report it first.
+    if (serve_error) std::rethrow_exception(serve_error);
+    for (std::exception_ptr& e : errors)
+      if (e) std::rethrow_exception(e);
+  });
 }
 
 }  // namespace ompc::taskbench

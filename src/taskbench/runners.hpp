@@ -36,6 +36,32 @@ RunResult run_ompc(const TaskBenchSpec& spec, const core::ClusterOptions& opts);
 RunResult run_ompc_stepwise(const TaskBenchSpec& spec,
                             const core::ClusterOptions& opts);
 
+/// One tenant's workload in a multi-tenant run: a Task Bench spec driven
+/// stepwise (one wave per step) through the tenant's own TenantSession
+/// from its own submitter thread. `weight` is the WDRR share; `tenant`,
+/// `checksum` and `stats` are outputs.
+struct TenantStream {
+  TaskBenchSpec spec;
+  double weight = 1.0;
+  core::TenantId tenant = core::kDefaultTenant;
+  std::uint64_t checksum = 0;     ///< must match expected_checksum(spec)
+  core::TenantStats stats;
+};
+
+/// Drives `stream` to completion through `session`: enters + step 0 as
+/// wave 0, one wave per later step, the exit wave last (all blocking
+/// submits), then waits for the tenant's queue to drain and computes the
+/// checksum from the final row. Runs on the stream's own thread.
+void drive_tenant_stream(core::TenantSession& session, TenantStream& stream);
+
+/// N concurrent tenants sharing one cluster: one submitter thread per
+/// stream, the head control thread pumping Runtime::serve_tenants(). Each
+/// stream's checksum/stats are filled in; the serve loop's failure (e.g.
+/// RecoveryError with fault tolerance off) is rethrown after all submitter
+/// threads have been joined.
+core::RuntimeStats run_multi_tenant(const core::ClusterOptions& opts,
+                                    std::vector<TenantStream>& streams);
+
 /// Synchronous data-parallel MPI reference: block-owned columns, per-step
 /// halo exchange (the paper's "best possible baseline").
 RunResult run_mpisync(const TaskBenchSpec& spec, int nodes,
