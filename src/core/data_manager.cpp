@@ -63,7 +63,14 @@ offload::TargetPtr DataManager::alloc_on(mpi::Rank worker, BufferState& b) {
   {
     std::lock_guard<std::mutex> lock(b.lock);
     auto it = b.addr.find(worker);
-    if (it != b.addr.end()) return it->second;
+    if (it != b.addr.end()) {
+      // An Absent replica with a live block is the ChannelPlan at work:
+      // after_write kept the allocation, so this wave skips the
+      // Delete+Alloc round-trips entirely and re-fills in place.
+      if (channels_armed())
+        stats_.persistent_reuses.fetch_add(1, std::memory_order_relaxed);
+      return it->second;
+    }
   }
   ArchiveWriter w;
   w.put(AllocHeader{b.size});
@@ -92,6 +99,28 @@ void DataManager::delete_on_locked(mpi::Rank worker, BufferState& b,
   events_->run(worker, EventKind::Delete, w.take());
   stats_.deletes.fetch_add(1, std::memory_order_relaxed);
   lk.lock();
+}
+
+void DataManager::submit_to(mpi::Rank worker, offload::TargetPtr dst,
+                            BufferState& b) {
+  // Borrowed, not copied: run() blocks until the worker's completion,
+  // which it sends only after the payload landed in its device buffer —
+  // so b.host outlives the flight, and fetch_to_head_locked's coalescing
+  // keeps anyone from rewriting it meanwhile. With an armed plan the
+  // payload rides the edge's fixed channel tag ahead of the announce (the
+  // worker's pre-posted slot — or its unexpected queue — matches it).
+  const mpi::Tag ctag =
+      channels_armed() ? channel_tag_for(b.host, -1, worker) : 0;
+  ArchiveWriter w;
+  w.put(SubmitHeader{dst, b.size, ctag});
+  if (ctag != 0) {
+    events_->send_data(worker, ctag, mpi::Payload::borrow(b.host, b.size));
+    events_->run(worker, EventKind::Submit, w.take());
+  } else {
+    events_->run(worker, EventKind::Submit, w.take(),
+                 mpi::Payload::borrow(b.host, b.size));
+  }
+  stats_.submits.fetch_add(1, std::memory_order_relaxed);
 }
 
 offload::TargetPtr DataManager::ensure_on(mpi::Rank worker, BufferState& b) {
@@ -149,7 +178,12 @@ offload::TargetPtr DataManager::ensure_on(mpi::Rank worker, BufferState& b) {
       std::lock_guard<std::mutex> lock(b.lock);
       return b.addr.at(src);
     }();
-    const mpi::Tag data_tag = events_->allocate_tag();
+    // Armed plan: the transfer edge's fixed channel tag, so the consumer's
+    // pre-posted persistent receive matches the payload without a fresh
+    // mailbox slot. Transient: a throwaway per-event tag as before.
+    const mpi::Tag data_tag = channels_armed()
+                                  ? channel_tag_for(b.host, src, worker)
+                                  : events_->allocate_tag();
     ArchiveWriter rw;
     rw.put(ExchangeRecvHeader{dst, b.size, src, data_tag});
     auto recv_ev =
@@ -169,23 +203,11 @@ offload::TargetPtr DataManager::ensure_on(mpi::Rank worker, BufferState& b) {
       std::unique_lock<std::mutex> lk(b.lock);
       fetch_to_head_locked(b, lk);
     }
-    ArchiveWriter w;
-    w.put(SubmitHeader{dst, b.size});
-    // Borrowed, not copied: run() blocks until the worker's completion,
-    // which it sends only after the payload landed in its device buffer —
-    // so b.host outlives the flight, and fetch_to_head_locked's coalescing
-    // keeps anyone from rewriting it meanwhile.
-    events_->run(worker, EventKind::Submit, w.take(),
-                mpi::Payload::borrow(b.host, b.size));
-    stats_.submits.fetch_add(1, std::memory_order_relaxed);
+    submit_to(worker, dst, b);
   } else {
     // Only the head has the data: submit host -> worker, zero-copy (see
-    // above for why borrowing is safe).
-    ArchiveWriter w;
-    w.put(SubmitHeader{dst, b.size});
-    events_->run(worker, EventKind::Submit, w.take(),
-                mpi::Payload::borrow(b.host, b.size));
-    stats_.submits.fetch_add(1, std::memory_order_relaxed);
+    // submit_to for why borrowing is safe).
+    submit_to(worker, dst, b);
   }
   stats_.bytes_moved.fetch_add(static_cast<std::int64_t>(b.size),
                                std::memory_order_relaxed);
@@ -286,12 +308,21 @@ void DataManager::after_write(mpi::Rank worker, const omp::DepList& deps) {
     }
     // The writer holds the only fresh copy; every replica is stale and is
     // removed so a later use must fetch from the up-to-date location.
-    std::vector<mpi::Rank> stale;
-    for (const auto& [r, ptr] : b->addr) {
-      (void)ptr;
-      if (r != worker) stale.push_back(r);
+    // With an armed ChannelPlan the stale blocks stay ALLOCATED (only the
+    // state entry goes, downgrading them to Absent): the steady-state wave
+    // will re-fill the very same block next iteration, so the
+    // Delete+Alloc round-trips — and their wire envelopes — disappear.
+    // Every recovery path (reset_all_to_host, purge_rank, restore_buffer,
+    // exit_to_head, cleanup_all) still erases addr entries, so kept blocks
+    // can never leak past the plan.
+    if (!channels_armed()) {
+      std::vector<mpi::Rank> stale;
+      for (const auto& [r, ptr] : b->addr) {
+        (void)ptr;
+        if (r != worker) stale.push_back(r);
+      }
+      for (mpi::Rank r : stale) delete_on_locked(r, *b, lk);
     }
-    for (mpi::Rank r : stale) delete_on_locked(r, *b, lk);
     b->state.clear();
     b->state[worker] = CopyState::Valid;
     b->on_head = false;
@@ -553,6 +584,26 @@ std::size_t DataManager::migrate_buffers(mpi::Rank joiner,
     ++migrated;
   }
   return migrated;
+}
+
+void DataManager::disarm_channels() {
+  channels_on_.store(false, std::memory_order_release);
+  // Retire the plan's fixed tags: a payload orphaned by the failure (sent,
+  // never received) must not be matchable by the next plan's channels —
+  // fresh tags keep recovery bitwise-identical to a transient run.
+  std::lock_guard<std::mutex> lock(channel_tag_mutex_);
+  channel_tags_.clear();
+}
+
+mpi::Tag DataManager::channel_tag_for(const void* host, mpi::Rank src,
+                                      mpi::Rank dst) {
+  std::lock_guard<std::mutex> lock(channel_tag_mutex_);
+  const auto key = std::make_tuple(host, src, dst);
+  const auto it = channel_tags_.find(key);
+  if (it != channel_tags_.end()) return it->second;
+  const mpi::Tag t = events_->allocate_channel_tag();
+  channel_tags_.emplace(key, t);
+  return t;
 }
 
 void DataManager::mark_dirty(const void* host) {

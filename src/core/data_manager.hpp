@@ -23,10 +23,12 @@
 // parallel.
 #pragma once
 
+#include <atomic>
 #include <functional>
 #include <map>
 #include <memory>
 #include <mutex>
+#include <tuple>
 #include <set>
 #include <shared_mutex>
 #include <span>
@@ -53,6 +55,9 @@ struct DataManagerStats {
   std::atomic<std::int64_t> head_fetch_bytes{0};  ///< bytes retrieved into
                                                   ///< host copies (head NIC
                                                   ///< inbound data volume)
+  std::atomic<std::int64_t> persistent_reuses{0};  ///< device allocations
+                                                   ///< re-used by an armed
+                                                   ///< ChannelPlan
 };
 
 class DataManager {
@@ -169,6 +174,25 @@ class DataManager {
   /// the joiner's ownership slice. Returns the number of buffers moved.
   std::size_t migrate_buffers(mpi::Rank joiner, std::size_t take_every);
 
+  // --- persistent channels (the per-wave ChannelPlan) -------------------
+  //
+  // Armed by the Runtime when the schedule cache hits (same structural
+  // hash, same live-worker set): the steady-state wave shape is known, so
+  // (1) stale replicas keep their device allocations across write
+  // invalidations — the next wave's transfer re-uses the block instead of
+  // paying Delete+Alloc round-trips — and (2) repeated transfers ride
+  // fixed channel tags that the destination's pre-posted persistent
+  // receives match (see EventSystem's channel cache). Disarmed on
+  // rollback, membership change, head failover and tenant-set change; the
+  // fixed tags are retired with the plan so recovery can never match a
+  // stale in-flight payload, keeping re-execution bitwise-identical.
+
+  void arm_channels() { channels_on_.store(true, std::memory_order_release); }
+  void disarm_channels();
+  bool channels_armed() const {
+    return channels_on_.load(std::memory_order_acquire);
+  }
+
   // --- dirty-set tracking (incremental checkpoints) --------------------
   //
   // A buffer is dirty when its logical content may have changed since the
@@ -226,6 +250,11 @@ class DataManager {
   /// Allocates (once) on `worker`; requires b.lock NOT held.
   offload::TargetPtr alloc_on(mpi::Rank worker, BufferState& b);
 
+  /// Submits the (valid) host copy into `worker`'s block at `dst`.
+  /// Armed plans ship the payload on the edge's fixed channel tag
+  /// (SubmitHeader::data_tag) so the worker's persistent receive matches.
+  void submit_to(mpi::Rank worker, offload::TargetPtr dst, BufferState& b);
+
   /// Removes the replica on `worker`; requires b.lock held (no transfer in
   /// flight for that worker).
   void delete_on_locked(mpi::Rank worker, BufferState& b,
@@ -241,6 +270,11 @@ class DataManager {
   /// Marks `host` as written since the last checkpoint.
   void mark_dirty(const void* host);
 
+  /// The fixed wire tag of the (buffer, producer, consumer) transfer edge
+  /// (src == -1: head-to-worker Submit). Allocated from the channel space
+  /// on first use, stable until disarm_channels() retires the plan.
+  mpi::Tag channel_tag_for(const void* host, mpi::Rank src, mpi::Rank dst);
+
   EventSystem* events_;
   const ClusterOptions opts_;
 
@@ -249,6 +283,13 @@ class DataManager {
 
   mutable std::mutex dirty_mutex_;
   std::unordered_set<const void*> dirty_;
+
+  // ChannelPlan state: the armed flag plus the fixed-tag table of the
+  // current plan's transfer edges.
+  std::atomic<bool> channels_on_{false};
+  mutable std::mutex channel_tag_mutex_;
+  std::map<std::tuple<const void*, mpi::Rank, mpi::Rank>, mpi::Tag>
+      channel_tags_;
 
   /// Shared transfer pool for prepare_args fan-out — created with the
   /// manager (once per launch, like the dispatch pool). Elastic: capped at

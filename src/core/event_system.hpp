@@ -16,9 +16,11 @@
 #include <condition_variable>
 #include <cstdint>
 #include <deque>
+#include <map>
 #include <memory>
 #include <mutex>
 #include <thread>
+#include <tuple>
 #include <unordered_map>
 #include <unordered_set>
 #include <vector>
@@ -74,6 +76,12 @@ class WorkerMemory {
   /// Zero-copy read view of the allocation starting at `ptr` (must be a
   /// block base), pinned for the payload's lifetime.
   mpi::Payload share(offload::TargetPtr ptr, std::size_t size) const;
+
+  /// Pins the block at `ptr` (must be a block base) for the life of the
+  /// returned handle. Persistent put channels hold one per cycle source:
+  /// while pinned the allocator can never hand the address out again, so a
+  /// cached channel keyed by address cannot alias a future block.
+  std::shared_ptr<const void> pin(offload::TargetPtr ptr) const;
 
   /// Frees every block whose address is not in `keep` (TrimHeap): heap
   /// reconciliation after a head failover, when the dead head's bookkeeping
@@ -191,6 +199,17 @@ class EventSystem {
   /// Fresh event tag (unique per origin rank).
   mpi::Tag allocate_tag();
 
+  /// Fresh persistent-channel tag from this rank's slice of the reserved
+  /// top-of-range channel space (see kChannelTagBase). Striped per rank so
+  /// a promoted head can never re-issue a tag the dead head's orphaned
+  /// payloads still carry.
+  mpi::Tag allocate_channel_tag();
+
+  /// Ships `payload` to `dest` on the data comm selected by `tag`, outside
+  /// any event. The persistent Submit path uses this to put the payload on
+  /// a fixed channel tag (SubmitHeader::data_tag) instead of the event tag.
+  void send_data(mpi::Rank dest, mpi::Tag tag, mpi::Payload payload);
+
   // --- fault handling (paper §5) ---------------------------------------
 
   /// Declares `dead` failed: every origin event whose destination or
@@ -230,13 +249,63 @@ class EventSystem {
   mpi::Rank rank() const noexcept { return rank_; }
 
  private:
+  // --- persistent channels (destination side) --------------------------
+  //
+  // Caches of re-armable minimpi requests keyed by the wave structure, so
+  // a steady-state wave re-uses its pre-posted receives and pre-armed puts
+  // instead of allocating fresh mailbox slots and re-resolving windows.
+  // Entries are shared_ptrs: eviction detaches an entry from the cache
+  // while the handler mid-cycle keeps it alive until the cycle settles.
+
+  /// Pre-armed one-sided put, keyed by its full wire shape.
+  struct PutChannel {
+    mpi::PersistentRequest pr;
+    bool in_use = false;  ///< a handler owns the current cycle
+  };
+  /// (peer, win, offset, src, size) — the RmaPutHeader fields.
+  using PutKey = std::tuple<mpi::Rank, offload::TargetPtr, std::uint64_t,
+                            offload::TargetPtr, std::uint64_t>;
+
+  /// Pre-posted receive on a fixed channel tag (Submit / ExchangeRecv).
+  struct RecvChannel {
+    mpi::PersistentRequest pr;
+    offload::TargetPtr dst = 0;
+    std::uint64_t size = 0;
+    mpi::Rank peer = -1;
+    bool in_use = false;
+  };
+
   /// Destination half of an event (the E_D of Figure 3).
   struct RemoteEvent {
     EventAnnounce announce;
     int phase = 0;
     mpi::Request io;  ///< pending irecv for Submit / ExchangeRecv
     std::shared_ptr<Bytes> blob;  ///< HeadState payload landing buffer
+    std::shared_ptr<PutChannel> put_channel;    ///< phase 2: persistent put
+    std::shared_ptr<RecvChannel> recv_channel;  ///< phase 2: persistent recv
   };
+
+  /// Finds-or-creates and start()s the put channel for `h`; null means
+  /// fall back to a transient put this time (channel busy, window gone,
+  /// peer dead). `tag` seeds a fresh channel's comm/accounting tag.
+  std::shared_ptr<PutChannel> arm_put_channel(const RmaPutHeader& h,
+                                              mpi::Tag tag);
+
+  /// Finds-or-creates and start()s the recv channel on `data_tag` (shape
+  /// mismatches rebuild the entry — the destination block moved); null
+  /// means fall back to a transient irecv this time.
+  std::shared_ptr<RecvChannel> arm_recv_channel(mpi::Tag data_tag,
+                                                offload::TargetPtr dst,
+                                                std::uint64_t size,
+                                                mpi::Rank peer);
+
+  /// Drops every channel that reads or writes the local block at `p`
+  /// (about to be freed by a Delete event).
+  void evict_channels_for(offload::TargetPtr p);
+
+  /// Drops the whole channel cache (RankDead: any cached shape may involve
+  /// the corpse, and post-recovery tags are fresh anyway).
+  void clear_channels();
 
   void gate_main();
   void handler_main(int index);
@@ -271,6 +340,13 @@ class EventSystem {
   std::unordered_map<mpi::Tag, OriginEventPtr> origin_events_;
   std::unordered_set<mpi::Rank> dead_ranks_;
   std::atomic<mpi::Tag> next_tag_{kFirstEventTag};
+  std::atomic<mpi::Tag> next_channel_tag_{0};  ///< set per rank in the ctor
+
+  // Channel caches (see the structs above). The mutex guards the maps and
+  // the in_use flags; a cycle in flight is owned by exactly one handler.
+  std::mutex channel_mutex_;
+  std::map<PutKey, std::shared_ptr<PutChannel>> put_channels_;
+  std::unordered_map<mpi::Tag, std::shared_ptr<RecvChannel>> recv_channels_;
 
   // Local destination-event queue. active_events_ counts events currently
   // inside progress() — TrimHeap defers until it is the only one.

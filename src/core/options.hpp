@@ -118,6 +118,17 @@ struct ClusterOptions {
   DataPlane data_plane = DataPlane::Rma;
   SchedulerKind scheduler = SchedulerKind::Heft;
 
+  /// Persistent message channels (ablation knob, bench/fig5_halo): when the
+  /// schedule cache hits — same structural_hash, same live-worker set — the
+  /// steady-state wave path arms a ChannelPlan of pre-posted receives and
+  /// pre-armed one-sided puts (minimpi send_init/recv_init/put_init) and
+  /// the Data Manager keeps device allocations alive across waves, so a
+  /// repeated wave re-uses its channels instead of re-allocating mailbox
+  /// slots and re-resolving windows. Invalidated on rollback, membership
+  /// change, head failover and tenant-set change, so recovery stays
+  /// bitwise-identical to the transient path. Off = every wave transient.
+  bool persistent_channels = true;
+
   /// Transport conduit for the simulated universe (see minimpi/conduit.hpp;
   /// the OMPC_CONDUIT environment variable overrides this process-wide and
   /// is validated at Universe construction).

@@ -70,20 +70,54 @@ enum class EventKind : std::uint8_t {
 
 const char* to_string(EventKind k);
 
-/// Control-communicator tags.
-inline constexpr mpi::Tag kTagNewEvent = 1;
-inline constexpr mpi::Tag kTagComplete = 2;
+/// The runtime's tag map, centralized: every control tag the event system
+/// uses lives in this one enum, so a new protocol message cannot silently
+/// collide with an existing one (the static_asserts below pin the layout).
+enum ControlTag : mpi::Tag {
+  kTagNewEvent = 1,  ///< new-event notifications (control comm)
+  kTagComplete = 2,  ///< completion notifications (control comm)
 
-/// Tag for the rank-local self-put that fills a snapshot shadow. A control
-/// tag (below the data-tag boundary) on purpose: the bytes never leave the
-/// rank, so the write must stay out of the wire-copy accounting exactly
-/// like the memcpy it replaced.
-inline constexpr mpi::Tag kTagSnapshotPut = 3;
+  /// Tag for the rank-local self-put that fills a snapshot shadow. A
+  /// control tag (below the data-tag boundary) on purpose: the bytes never
+  /// leave the rank, so the write must stay out of the wire-copy
+  /// accounting exactly like the memcpy it replaced.
+  kTagSnapshotPut = 3,
+};
 
 /// First tag usable by events (small tags are control tags). Anchored to
 /// the minimpi data-tag boundary so payload-copy accounting sees every
 /// event data message and none of the control traffic.
 inline constexpr mpi::Tag kFirstEventTag = mpi::kFirstDataTag;
+
+/// Persistent-channel tag space: the top 2^20 user tags are reserved for
+/// pre-posted wave-shape channels (EventSystem::allocate_channel_tag).
+/// Ordinary event tags (allocate_tag) stay strictly below this base, so a
+/// channel's fixed (rank, tag) shape can never match transient traffic.
+inline constexpr mpi::Tag kChannelTagBase = mpi::kMaxUserTag - (1 << 20) + 1;
+
+/// Channel tags are striped per origin rank (rank r allocates from
+/// [base + r * stripe, base + (r+1) * stripe)), so a head promoted after a
+/// failover can never re-issue a tag whose orphaned payloads — sent under
+/// the dead head — might still sit in a worker's unexpected queue.
+inline constexpr mpi::Tag kChannelTagsPerRank = 1 << 14;
+inline constexpr int kMaxChannelRanks = (1 << 20) / kChannelTagsPerRank;
+
+// Layout invariants of the tag map. Control tags are pairwise distinct and
+// below the data boundary; event tags start at the boundary; channel tags
+// occupy the top of the user range without touching the collective space.
+static_assert(kTagNewEvent != kTagComplete &&
+              kTagComplete != kTagSnapshotPut &&
+              kTagNewEvent != kTagSnapshotPut);
+static_assert(kTagNewEvent > 0 && kTagSnapshotPut < mpi::kFirstDataTag,
+              "control tags must stay below the data-tag boundary");
+static_assert(kFirstEventTag >= mpi::kFirstDataTag,
+              "event data tags must be visible to copy accounting");
+static_assert(kFirstEventTag < kChannelTagBase &&
+                  kChannelTagBase <= mpi::kMaxUserTag,
+              "channel tags must not overlap transient event tags");
+static_assert(kChannelTagBase + kMaxChannelRanks * kChannelTagsPerRank - 1 ==
+                  mpi::kMaxUserTag,
+              "per-rank channel stripes must tile the channel space exactly");
 
 // --- event headers (serialized into the new-event notification) ---------
 
@@ -98,6 +132,10 @@ struct DeleteHeader {
 struct SubmitHeader {
   offload::TargetPtr dst = 0;
   std::uint64_t size = 0;
+  /// Non-zero: the payload travels on this fixed channel tag instead of the
+  /// event's own tag, so the destination's pre-posted persistent receive
+  /// (ChannelPlan) matches it without a fresh mailbox slot. 0 = transient.
+  mpi::Tag data_tag = 0;
 };
 
 struct RetrieveHeader {

@@ -278,10 +278,22 @@ void Runtime::run_wave(const ClusterGraph& graph) {
     ++stats_.schedule_cache_hits;
     note_cache_hit(graph.tenant());
     stats_.makespan_estimate_s = it->second.makespan_estimate_s;
+    // Steady state: the wave shape is known (same structural hash, same
+    // live-worker set — both in the cache key), so arm the ChannelPlan.
+    // The dispatched transfers ride pre-posted persistent receives and
+    // pre-armed puts, and write invalidations keep device blocks for next
+    // wave's re-fill.
+    if (opts_.persistent_channels) {
+      dm_.arm_channels();
+      ++stats_.channels_armed;
+    }
     last_ = it->second;
     dispatch(graph, it->second);
     return;
   }
+  // A structurally new wave is not the cached shape: back to transient
+  // channels until the cache hits again (the plan is keyed to the shape).
+  dm_.disarm_channels();
   const ScheduleResult sched =
       schedule(opts_.scheduler, graph, num_live_workers(),
                CostModel::from_network(opts_.network),
@@ -335,8 +347,11 @@ void Runtime::rollback(mpi::Rank dead) {
   failure_detected_ns_.compare_exchange_strong(expected, now_ns(),
                                                std::memory_order_acq_rel);
   // Cached schedules were computed for the pre-failure worker set; the
-  // re-ranked survivors must be scheduled fresh.
+  // re-ranked survivors must be scheduled fresh. The ChannelPlan goes with
+  // them: replay must run transient (and with retired channel tags) so
+  // recovery stays bitwise-identical to an unfailed run.
   schedule_cache_.clear();
+  dm_.disarm_channels();
 
   // Re-rank: drop every reported corpse from the processor table. Detector
   // threads read live_workers_ under fault_mutex_ (report_worker_failure),
@@ -600,6 +615,9 @@ TenantId Runtime::create_tenant(double weight) {
   const TenantId id = next_tenant_++;
   TenantState& ts = tenants_[id];
   ts.stats.weight = weight > 0.0 ? weight : 1.0;
+  // A new tenant changes the wave interleaving the scheduler will produce,
+  // so the pre-armed wave-shape channels are no longer the steady state.
+  dm_.disarm_channels();
   return id;
 }
 
@@ -1129,6 +1147,10 @@ void Runtime::failover() {
   ckpt_.rebind(events_);
   adopt_replica();
   schedule_cache_.clear();
+  // The dead head's ChannelPlan dies with it: replay runs transient, and
+  // the promoted head's channel-tag stripe is disjoint from the old one,
+  // so orphaned payloads can never match a new channel.
+  dm_.disarm_channels();
 
   // The old head is a corpse to the new event plane too: abort anything
   // still referencing it and tell the workers.
@@ -1438,8 +1460,10 @@ void Runtime::process_membership_requests() {
     if (e.rank() >= 0) report_worker_failure(e.rank());
   }
   if (changed) {
-    // Schedules were computed for the old worker table.
+    // Schedules were computed for the old worker table — and so was the
+    // ChannelPlan (its shapes name ranks): both invalidate together.
     schedule_cache_.clear();
+    dm_.disarm_channels();
     broadcast_membership();
     // Membership is head state: resync the replica eagerly so a failover
     // in the very next wave sees the new table.
@@ -1634,6 +1658,7 @@ RuntimeStats launch(const ClusterOptions& opts,
       stats.snapshot_replicas = cks.snapshot_replicas;
       stats.checkpoint_ns = cks.capture_ns;
       stats.schedule_cache_hits = rs.schedule_cache_hits;
+      stats.channels_armed = rs.channels_armed;
       stats.recovery_latency_ns = rs.recovery_latency_ns;
       stats.recoveries = rs.recoveries;
       stats.workers_lost = rs.workers_lost;
@@ -1656,6 +1681,7 @@ RuntimeStats launch(const ClusterOptions& opts,
       stats.retrieves = ds.retrieves.load();
       stats.exchanges = ds.exchanges.load();
       stats.bytes_moved = ds.bytes_moved.load();
+      stats.persistent_reuses = ds.persistent_reuses.load();
       stats.threads_spawned = rs.threads_spawned + ds.threads_spawned.load();
     } else {
       // --- worker node ---

@@ -127,6 +127,18 @@ class Payload {
     if (size_ != 0) std::memcpy(dst, data_, size_);
   }
 
+  /// Converts a borrowed view into owned bytes; no-op when the payload
+  /// already owns or pins its storage. Transports call this before parking
+  /// a message whose sender was (or is about to be) released eagerly — a
+  /// borrowed pointer must not outlive the sender's right to reuse it.
+  void materialize() {
+    if (size_ == 0 || data_ == owned_.data() || keepalive_ != nullptr) return;
+    Bytes b(size_);
+    std::memcpy(b.data(), data_, size_);
+    owned_ = std::move(b);
+    data_ = owned_.data();
+  }
+
  private:
   Bytes owned_;
   std::shared_ptr<const void> keepalive_;
